@@ -1,0 +1,78 @@
+(* skybench: run one (or all) of the paper's tables/figures.
+
+   Usage:
+     skybench list
+     skybench run table4
+     skybench run all
+     skybench run fig9 --records 10000 --ops 1000   (paper-scale YCSB) *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %s\n" e.Sky_experiments.Registry.id
+          e.Sky_experiments.Registry.title)
+      Sky_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_one ~records ~ops id =
+  match id with
+  | "fig9" | "fig10" | "fig11" when records <> None || ops <> None ->
+    let variant =
+      match id with
+      | "fig9" -> Sky_ukernel.Config.Sel4
+      | "fig10" -> Sky_ukernel.Config.Fiasco
+      | _ -> Sky_ukernel.Config.Zircon
+    in
+    Sky_harness.Tbl.print
+      (Sky_experiments.Exp_ycsb.run_variant
+         ?records ?ops_per_thread:ops variant)
+  | _ -> (
+    match Sky_experiments.Registry.find id with
+    | Some e -> Sky_harness.Tbl.print (e.Sky_experiments.Registry.run ())
+    | None ->
+      Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
+      exit 1)
+
+let run_cmd =
+  let doc = "Run an experiment by id (or `all`)." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let records =
+    Arg.(value & opt (some int) None & info [ "records" ] ~doc:"YCSB table size")
+  in
+  let ops =
+    Arg.(value & opt (some int) None & info [ "ops" ] ~doc:"YCSB ops per thread")
+  in
+  let run id records ops =
+    if id = "all" then
+      List.iter
+        (fun e ->
+          Sky_harness.Tbl.print (e.Sky_experiments.Registry.run ());
+          print_newline ())
+        Sky_experiments.Registry.all
+    else run_one ~records ~ops id
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id $ records $ ops)
+
+let md_cmd =
+  let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
+  let run () =
+    List.iter
+      (fun e ->
+        print_string
+          (Sky_harness.Tbl.to_markdown (e.Sky_experiments.Registry.run ())))
+      Sky_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "md" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "SkyBridge (EuroSys'19) reproduction benchmarks" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "skybench" ~doc ~version:"1.0")
+          [ list_cmd; run_cmd; md_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Bytes Kernel List Printf Sky_core Sky_isa Sky_rewriter Sky_sim Sky_ukernel

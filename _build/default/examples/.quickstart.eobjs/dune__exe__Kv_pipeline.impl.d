@@ -1,0 +1,1 @@
+examples/kv_pipeline.ml: Array Kernel List Pipeline Printf Sky_core Sky_kvstore Sky_sim Sky_ukernel Sys

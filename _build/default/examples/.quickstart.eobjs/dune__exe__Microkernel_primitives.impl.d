@@ -1,0 +1,1 @@
+examples/microkernel_primitives.ml: Bytes Capability Ipc Kernel List Notification Printf Scheduler Sky_kernels Sky_sim Sky_ukernel

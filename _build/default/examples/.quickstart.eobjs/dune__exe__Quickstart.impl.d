@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Kernel Printf Sky_core Sky_sim Sky_ukernel

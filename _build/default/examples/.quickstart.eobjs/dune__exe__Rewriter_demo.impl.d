@@ -1,0 +1,1 @@
+examples/rewriter_demo.ml: Bytes Char Encode Insn Interp List Printf Reg Rewrite Scan Sky_isa Sky_rewriter String

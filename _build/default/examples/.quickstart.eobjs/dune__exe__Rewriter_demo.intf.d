@@ -1,0 +1,1 @@
+examples/rewriter_demo.mli:

@@ -1,0 +1,1 @@
+examples/sqlite_ycsb.ml: Array List Printf Sky_experiments Sky_sqldb Sky_ukernel Sky_xv6fs Sky_ycsb Stack Sys

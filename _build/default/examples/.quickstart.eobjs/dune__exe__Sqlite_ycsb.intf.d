@@ -1,0 +1,1 @@
+examples/sqlite_ycsb.mli:

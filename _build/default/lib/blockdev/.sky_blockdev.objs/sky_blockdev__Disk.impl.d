@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Proto Ramdisk Sky_core Sky_kernels Sky_ukernel

@@ -1,0 +1,1 @@
+lib/blockdev/proto.ml: Bytes Char Int32 Printf Ramdisk

@@ -1,0 +1,1 @@
+lib/blockdev/ramdisk.ml: Bytes Printf Sky_mem Sky_sim

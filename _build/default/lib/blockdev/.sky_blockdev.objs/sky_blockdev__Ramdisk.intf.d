@@ -1,0 +1,1 @@
+lib/blockdev/ramdisk.mli: Sky_sim

@@ -1,0 +1,80 @@
+(** Transport-independent block-device interface.
+
+    The file system talks to whatever this record wraps: the raw RAM disk
+    in the same address space (Baseline), an IPC server (the paper's
+    evaluated configuration), a SkyBridge server, or a fault-injecting
+    wrapper used by the crash-recovery tests. *)
+
+type t = {
+  read : core:int -> int -> bytes;
+  write : core:int -> int -> bytes -> unit;
+  name : string;
+}
+
+exception Crash of { writes_completed : int }
+
+(* Same-process access: device work charged on the calling core. *)
+let direct kernel rd =
+  {
+    name = "direct";
+    read = (fun ~core blockno -> Ramdisk.read rd (Sky_ukernel.Kernel.cpu kernel ~core) blockno);
+    write =
+      (fun ~core blockno data ->
+        Ramdisk.write rd (Sky_ukernel.Kernel.cpu kernel ~core) blockno data);
+  }
+
+(* The IPC server side: decode, execute against the RAM disk on the
+   serving core. *)
+let handler kernel rd : Sky_kernels.Ipc.handler =
+ fun ~core msg ->
+  let cpu = Sky_ukernel.Kernel.cpu kernel ~core in
+  match Proto.decode_request msg with
+  | Proto.Read blockno -> Proto.encode_read_reply (Ramdisk.read rd cpu blockno)
+  | Proto.Write (blockno, data) ->
+    Ramdisk.write rd cpu blockno data;
+    Proto.write_ack
+
+let over_ipc ipc ~client endpoint =
+  {
+    name = "ipc";
+    read =
+      (fun ~core blockno ->
+        Sky_kernels.Ipc.call ipc ~core ~client endpoint
+          (Proto.encode_request (Proto.Read blockno)));
+    write =
+      (fun ~core blockno data ->
+        ignore
+          (Sky_kernels.Ipc.call ipc ~core ~client endpoint
+             (Proto.encode_request (Proto.Write (blockno, data)))));
+  }
+
+let over_skybridge sb ~client ~server_id =
+  {
+    name = "skybridge";
+    read =
+      (fun ~core blockno ->
+        Sky_core.Subkernel.direct_server_call sb ~core ~client ~server_id
+          (Proto.encode_request (Proto.Read blockno)));
+    write =
+      (fun ~core blockno data ->
+        ignore
+          (Sky_core.Subkernel.direct_server_call sb ~core ~client ~server_id
+             (Proto.encode_request (Proto.Write (blockno, data)))));
+  }
+
+(* Crash injection: the machine "loses power" after [fail_after] more
+   block writes — mid-transaction crashes for the log-recovery tests. *)
+let faulty inner ~fail_after =
+  let completed = ref 0 in
+  {
+    name = "faulty:" ^ inner.name;
+    read = inner.read;
+    write =
+      (fun ~core blockno data ->
+        if !fail_after <= 0 then raise (Crash { writes_completed = !completed })
+        else begin
+          decr fail_after;
+          incr completed;
+          inner.write ~core blockno data
+        end);
+  }

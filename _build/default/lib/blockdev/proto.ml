@@ -1,0 +1,37 @@
+(** Wire format for block-device requests (the IPC message bytes). *)
+
+type request = Read of int | Write of int * bytes
+
+exception Bad_message of string
+
+let encode_request = function
+  | Read blockno ->
+    let b = Bytes.create 5 in
+    Bytes.set b 0 '\001';
+    Bytes.set_int32_le b 1 (Int32.of_int blockno);
+    b
+  | Write (blockno, data) ->
+    if Bytes.length data <> Ramdisk.block_size then
+      invalid_arg "Proto.encode_request: bad block length";
+    let b = Bytes.create (5 + Ramdisk.block_size) in
+    Bytes.set b 0 '\002';
+    Bytes.set_int32_le b 1 (Int32.of_int blockno);
+    Bytes.blit data 0 b 5 Ramdisk.block_size;
+    b
+
+let decode_request b =
+  if Bytes.length b < 5 then raise (Bad_message "short request");
+  let blockno = Int32.to_int (Bytes.get_int32_le b 1) in
+  match Bytes.get b 0 with
+  | '\001' -> Read blockno
+  | '\002' ->
+    if Bytes.length b < 5 + Ramdisk.block_size then raise (Bad_message "short write");
+    Write (blockno, Bytes.sub b 5 Ramdisk.block_size)
+  | c -> raise (Bad_message (Printf.sprintf "bad opcode %d" (Char.code c)))
+
+let encode_read_reply data =
+  if Bytes.length data <> Ramdisk.block_size then
+    invalid_arg "Proto.encode_read_reply";
+  data
+
+let write_ack = Bytes.of_string "ok"

@@ -1,0 +1,23 @@
+(** RAM-disk block device (§6.5: "We use a RAM disk device to work as the
+    block device and the file system communicates with the device with
+    IPC").
+
+    Blocks live in simulated physical memory, so every transfer pulls
+    real cache lines through the serving core's hierarchy. *)
+
+type t
+
+val block_size : int
+(** 1024 bytes (xv6's BSIZE). *)
+
+val create : Sky_sim.Machine.t -> nblocks:int -> t
+
+val read : t -> Sky_sim.Cpu.t -> int -> bytes
+(** Raises [Invalid_argument] out of range. *)
+
+val write : t -> Sky_sim.Cpu.t -> int -> bytes -> unit
+(** The payload must be exactly one block. *)
+
+val nblocks : t -> int
+val reads : t -> int
+val writes : t -> int

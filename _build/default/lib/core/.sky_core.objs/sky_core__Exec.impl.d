@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Decode Insn Int64 Kernel Option Printf Reg Sky_isa Sky_mmu Sky_ukernel

@@ -1,0 +1,1 @@
+lib/core/rootkernel.ml: Array Cpu Ept Frame_alloc Int64 Kernel Layout Logs Machine Phys_mem Pmu Proc Sky_mem Sky_mmu Sky_sim Sky_ukernel Vcpu Vmcs

@@ -1,0 +1,1 @@
+lib/core/rootkernel.mli: Sky_mmu Sky_ukernel

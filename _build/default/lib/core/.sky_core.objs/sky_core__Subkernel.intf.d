@@ -1,0 +1,1 @@
+lib/core/subkernel.mli: Rootkernel Sky_kernels Sky_ukernel

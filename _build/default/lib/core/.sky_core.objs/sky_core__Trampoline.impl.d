@@ -1,0 +1,1 @@
+lib/core/trampoline.ml: Encode Insn List Reg Sky_isa Sky_rewriter Sky_sim

@@ -1,0 +1,533 @@
+open Sky_mem
+open Sky_sim
+open Sky_mmu
+open Sky_ukernel
+open Sky_kernels
+
+exception Not_registered of { client_pid : int; server_id : int }
+exception Bad_server_key of { server_id : int; presented : int64 }
+exception Bad_client_return of { server_id : int }
+exception Call_timeout of { server_id : int; elapsed : int }
+exception Wx_violation of { pid : int; va : int }
+
+let buffer_size = 8192
+let key_table_slots = 64
+
+type server = {
+  server_id : int;
+  sproc : Proc.t;
+  handler : Ipc.handler;
+  connection_count : int;
+  stack_vas : int array;
+  key_table_pa : int;  (** backing frame of the calling-key table page *)
+  deps : int list;
+}
+
+type binding = {
+  b_server_id : int;
+  server_key : int64;
+  buffer_vas : int array;  (** one per server connection/stack *)
+  ept : Ept.t;
+  mutable last_use : int;  (** for EPTP-list LRU eviction *)
+}
+
+type pstate = {
+  proc : Proc.t;
+  own_ept : Ept.t;
+  trampoline_text_pa : int;
+  mutable bindings : binding list;
+  mutable installed : binding list;  (** subset currently in the EPTP list *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  root : Rootkernel.t;
+  rng : Rng.t;
+  mutable servers : server list;
+  pstates : (int, pstate) Hashtbl.t;
+  mutable next_server_id : int;
+  mutable next_buffer_va : int;
+  max_eptp : int;
+  stats : Breakdown.t;
+  mutable calls : int;
+  mutable evictions : int;
+  mutable security_events : string list;
+  active_client : pstate option array;  (** per core: live direct call *)
+  trampoline_frame : int;  (** one shared physical frame for the code page *)
+  trampoline_bytes : bytes;
+}
+
+let log_src = Logs.Src.create "skybridge.subkernel" ~doc:"SkyBridge Subkernel"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let rootkernel t = t.root
+let kernel t = t.kernel
+let stats t = t.stats
+let calls t = t.calls
+let evictions t = t.evictions
+let security_events t = t.security_events
+let trampoline_code t = t.trampoline_bytes
+let trampoline_va = Layout.trampoline_va
+let key_table_va = Layout.identity_page_va + 4096
+let security t msg =
+  Log.warn (fun m -> m "security: %s" msg);
+  t.security_events <- msg :: t.security_events
+
+let pstate_opt t proc = Hashtbl.find_opt t.pstates proc.Proc.pid
+
+let eptp_list_of ps =
+  Ept.root_pa ps.own_ept :: List.map (fun b -> Ept.root_pa b.ept) ps.installed
+
+(* Install the EPTP list for [proc] on [core] — called from the kernel's
+   context-switch hook. Only processes registered into SkyBridge carry a
+   list; switching between unregistered processes keeps the base list
+   installed and costs no VM exit (Table 5). *)
+let install_for t ~core proc =
+  match pstate_opt t proc with
+  | Some ps -> Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps)
+  | None ->
+    let vmcs = t.root.Rootkernel.vmcses.(core) in
+    let base = Ept.root_pa t.root.Rootkernel.base_ept in
+    if Vmcs.eptp_at vmcs ~index:0 <> base || Vmcs.current_index vmcs <> 0 then
+      Rootkernel.install_eptp_list t.root ~core [ base ]
+
+let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
+    ?(seed = 0x5b1d) kernel =
+  let root = Rootkernel.boot ~vpid ~huge_ept kernel in
+  let trampoline_bytes = Trampoline.code () in
+  let trampoline_frame = Frame_alloc.alloc_frame (Kernel.alloc kernel) in
+  Phys_mem.write_bytes (Kernel.mem kernel) trampoline_frame trampoline_bytes;
+  let t =
+    {
+      kernel;
+      root;
+      rng = Rng.create ~seed;
+      servers = [];
+      pstates = Hashtbl.create 16;
+      next_server_id = 1;
+      next_buffer_va = Layout.skybridge_buffer_va;
+      max_eptp;
+      stats = Breakdown.create ();
+      calls = 0;
+      evictions = 0;
+      security_events = [];
+      active_client = Array.make (Machine.n_cores kernel.Kernel.machine) None;
+      trampoline_frame;
+      trampoline_bytes;
+    }
+  in
+  kernel.Kernel.on_context_switch <-
+    (fun k ~core proc ->
+      ignore k;
+      install_for t ~core proc)
+    :: kernel.Kernel.on_context_switch;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan and rewrite every executable region of the process (§5). Each
+   region's snippet page is laid out consecutively from 0x1000 so
+   multi-section binaries get disjoint rewrite pages. *)
+let rewrite_process t proc =
+  let next_page_va = ref Layout.rewrite_page_va in
+  List.iter
+    (fun (va, code) ->
+      let r =
+        Sky_rewriter.Rewrite.rewrite ~code_va:va ~rewrite_page_va:!next_page_va
+          code
+      in
+      if r.Sky_rewriter.Rewrite.patched > 0 then begin
+        Kernel.write_code t.kernel proc ~va r.Sky_rewriter.Rewrite.code;
+        let page = r.Sky_rewriter.Rewrite.rewrite_page in
+        if Bytes.length page > 0 then begin
+          let rw_va =
+            Kernel.map_anon t.kernel proc ~va:!next_page_va ~flags:Pte.urx
+              (Bytes.length page)
+          in
+          Kernel.write_code t.kernel proc ~va:rw_va page;
+          next_page_va :=
+            !next_page_va + ((Bytes.length page + 4095) land lnot 4095)
+        end
+      end)
+    (Kernel.proc_code_bytes t.kernel proc)
+
+let ensure_pstate t proc =
+  match pstate_opt t proc with
+  | Some ps -> ps
+  | None ->
+    rewrite_process t proc;
+    (* Map the shared trampoline page (read-execute). *)
+    Kernel.map_frames t.kernel proc ~va:Layout.trampoline_va
+      ~pa:t.trampoline_frame ~len:4096 ~flags:Pte.urx;
+    let own_ept = Rootkernel.new_process_ept t.root proc in
+    let ps =
+      {
+        proc;
+        own_ept;
+        trampoline_text_pa = t.trampoline_frame;
+        bindings = [];
+        installed = [];
+      }
+    in
+    Hashtbl.replace t.pstates proc.Proc.pid ps;
+    ps
+
+let find_server t server_id =
+  match List.find_opt (fun s -> s.server_id = server_id) t.servers with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "SkyBridge: unknown server id %d" server_id)
+
+let server_stack_va t ~server_id ~conn =
+  let srv = find_server t server_id in
+  srv.stack_vas.(conn mod srv.connection_count)
+
+let register_server t proc ?(connection_count = 8) ?(deps = []) handler =
+  List.iter (fun d -> ignore (find_server t d)) deps;
+  let _ps = ensure_pstate t proc in
+  let server_id = t.next_server_id in
+  t.next_server_id <- server_id + 1;
+  (* Per-connection stacks in the server's address space. *)
+  let stack_vas =
+    Array.init connection_count (fun _ ->
+        let va = Proc.bump_stack proc 16384 in
+        ignore (Kernel.map_anon t.kernel proc ~va 16384);
+        va + 16384)
+  in
+  (* Calling-key table: one page, entries of (pid, key). *)
+  let key_table_pa = Frame_alloc.alloc_frame (Kernel.alloc t.kernel) in
+  let table_va = Layout.identity_page_va + 4096 in
+  Kernel.map_frames t.kernel proc ~va:table_va ~pa:key_table_pa ~len:4096
+    ~flags:Pte.ur;
+  t.servers <-
+    { server_id; sproc = proc; handler; connection_count; stack_vas; key_table_pa; deps }
+    :: t.servers;
+  Log.info (fun m ->
+      m "registered server %d (%s), %d connections, deps [%s]" server_id
+        proc.Proc.name connection_count
+        (String.concat ";" (List.map string_of_int deps)));
+  server_id
+
+let install_key t srv ~client_pid ~key =
+  let mem = Kernel.mem t.kernel in
+  let rec find_slot i =
+    if i >= key_table_slots then invalid_arg "SkyBridge: calling-key table full"
+    else if Phys_mem.read_u64 mem (srv.key_table_pa + (i * 16)) = 0L then i
+    else find_slot (i + 1)
+  in
+  let slot = find_slot 0 in
+  Phys_mem.write_u64 mem (srv.key_table_pa + (slot * 16)) (Int64.of_int client_pid);
+  Phys_mem.write_u64 mem (srv.key_table_pa + (slot * 16) + 8) key
+
+(* Check [key] against the server's table, charging the reads the
+   receiver performs (§4.4). *)
+let check_key t ~core srv key =
+  let mem = Kernel.mem t.kernel in
+  let cpu = Kernel.cpu t.kernel ~core in
+  let rec go i =
+    if i >= key_table_slots then false
+    else begin
+      Memsys.access cpu Memsys.Data (srv.key_table_pa + (i * 16));
+      let pid = Phys_mem.read_u64 mem (srv.key_table_pa + (i * 16)) in
+      if pid = 0L then false
+      else if Phys_mem.read_u64 mem (srv.key_table_pa + (i * 16) + 8) = key then true
+      else go (i + 1)
+    end
+  in
+  go 0
+
+(* Transitive dependency closure of a server, in call order. *)
+let rec dep_closure t server_id =
+  let srv = find_server t server_id in
+  server_id
+  :: List.concat_map (fun d -> dep_closure t d) srv.deps
+
+let fresh_key t =
+  let k = Rng.next_int64 t.rng in
+  if k = 0L then 1L else k
+
+let bind_one t ps ~server_id ~key ~share_with =
+  let srv = find_server t server_id in
+  let ept = Rootkernel.bind_ept t.root ~client:ps.proc ~server:srv.sproc in
+  (* Shared buffers, one per server connection, mapped at the same VA in
+     every address space of the call chain: the client, the target
+     server, and any intermediate servers (which fill the buffer when
+     making dependency calls on the client's behalf). *)
+  let chain =
+    List.sort_uniq
+      (fun a b -> compare a.Proc.pid b.Proc.pid)
+      (ps.proc :: srv.sproc :: share_with)
+  in
+  let buffer_vas =
+    Array.init srv.connection_count (fun _ ->
+        let va = t.next_buffer_va in
+        t.next_buffer_va <- t.next_buffer_va + buffer_size;
+        let pa =
+          Frame_alloc.alloc_frames (Kernel.alloc t.kernel)
+            ~count:(buffer_size / 4096)
+        in
+        List.iter
+          (fun proc ->
+            Kernel.map_frames t.kernel proc ~va ~pa ~len:buffer_size
+              ~flags:Pte.urw)
+          chain;
+        va)
+  in
+  let b = { b_server_id = server_id; server_key = key; buffer_vas; ept; last_use = 0 } in
+  ps.bindings <- ps.bindings @ [ b ];
+  if List.length ps.installed + 1 < t.max_eptp then
+    ps.installed <- ps.installed @ [ b ];
+  b
+
+(* The key a process uses to call [server_id]: its own binding's key. *)
+let key_for t proc ~server_id =
+  match pstate_opt t proc with
+  | None -> None
+  | Some ps ->
+    List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings
+    |> Option.map (fun b -> b.server_key)
+
+let register_client_to_server t proc ~server_id =
+  let ps = ensure_pstate t proc in
+  if List.exists (fun b -> b.b_server_id = server_id) ps.bindings then ()
+  else begin
+    let closure = dep_closure t server_id in
+    (* Every process in the call chain shares the dependency buffers. *)
+    let chain_procs = List.map (fun sid -> (find_server t sid).sproc) closure in
+    List.iter
+      (fun sid ->
+        if not (List.exists (fun b -> b.b_server_id = sid) ps.bindings) then begin
+          let srv = find_server t sid in
+          (* The direct binding gets a fresh key; dependency bindings
+             reuse the key of the server that actually calls them (the
+             FS's key for the disk, not the client's). *)
+          let key =
+            if sid = server_id then begin
+              let k = fresh_key t in
+              install_key t srv ~client_pid:proc.Proc.pid ~key:k;
+              k
+            end
+            else
+              match
+                List.fold_left
+                  (fun acc s ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> key_for t s.sproc ~server_id:sid)
+                  None t.servers
+              with
+              | Some k -> k
+              | None ->
+                (* The intermediate server never registered to its dep —
+                   register it now with its own key. *)
+                let k = fresh_key t in
+                install_key t srv ~client_pid:proc.Proc.pid ~key:k;
+                k
+          in
+          ignore (bind_one t ps ~server_id:sid ~key ~share_with:chain_procs)
+        end)
+      closure
+  end
+
+(* ------------------------------------------------------------------ *)
+(* direct_server_call                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let binding_index ps b =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if x == b then Some (i + 1) else go (i + 1) rest
+  in
+  go 0 ps.installed
+
+(* EPTP-list LRU eviction (§10 future work): make sure [b] occupies a
+   slot, evicting the least-recently-used binding when the list is
+   full. Requires a Rootkernel VMCALL to rewrite the list. *)
+let ensure_installed t ~core ps b =
+  let vmcs = t.root.Rootkernel.vmcses.(core) in
+  let refresh () =
+    (* Rewriting the EPTP list mid-call must not disturb the currently
+       installed EPTP (the hardware list update does not switch). *)
+    let saved_index = Vmcs.current_index vmcs in
+    Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps);
+    vmcs.Vmcs.current_index <- saved_index
+  in
+  match binding_index ps b with
+  | Some idx ->
+    (* The list in the VMCS may predate this binding (registered after
+       the client was last scheduled): refresh it if stale. *)
+    if Vmcs.eptp_at vmcs ~index:idx <> Ept.root_pa b.ept then refresh ();
+    idx
+  | None ->
+    let saved_index = Vmcs.current_index vmcs in
+    let victim =
+      List.fold_left
+        (fun acc x -> match acc with
+          | None -> Some x
+          | Some v -> if x.last_use < v.last_use then Some x else acc)
+        None ps.installed
+    in
+    (match victim with
+    | Some v when List.length ps.installed + 1 >= t.max_eptp ->
+      ps.installed <-
+        List.map (fun x -> if x == v then b else x) ps.installed;
+      t.evictions <- t.evictions + 1
+    | _ -> ps.installed <- ps.installed @ [ b ]);
+    Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps);
+    vmcs.Vmcs.current_index <- saved_index;
+    (match binding_index ps b with Some i -> i | None -> assert false)
+
+let guest_copy_out t ~core va data =
+  Translate.write_bytes (Kernel.vcpu t.kernel ~core) (Kernel.mem t.kernel) ~va data
+
+let guest_copy_in t ~core va len =
+  Translate.read_bytes (Kernel.vcpu t.kernel ~core) (Kernel.mem t.kernel) ~va ~len
+
+let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
+  let ps =
+    (* Nested calls resolve against the root client's EPTP list, which
+       carries the dependency EPTs (§4.2). *)
+    match t.active_client.(core) with
+    | Some ps -> ps
+    | None -> (
+      match pstate_opt t client with
+      | Some ps -> ps
+      | None -> raise (Not_registered { client_pid = client.Proc.pid; server_id }))
+  in
+  let b =
+    match List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings with
+    | Some b -> b
+    | None ->
+      security t
+        (Printf.sprintf "pid %d attempted unbound call to server %d"
+           ps.proc.Proc.pid server_id);
+      raise (Not_registered { client_pid = ps.proc.Proc.pid; server_id })
+  in
+  let srv = find_server t server_id in
+  let cpu = Kernel.cpu t.kernel ~core in
+  let vcpu = Kernel.vcpu t.kernel ~core in
+  (* Make sure the root client is the running process (normally a no-op:
+     the workload is already executing it). *)
+  if t.active_client.(core) = None then
+    Kernel.context_switch t.kernel ~core ps.proc;
+  t.calls <- t.calls + 1;
+  t.calls |> fun n -> b.last_use <- n;
+  let idx = ensure_installed t ~core ps b in
+  let start = Cpu.cycles cpu in
+  let conn = core mod srv.connection_count in
+  let large = Bytes.length msg > Ipc.register_msg_limit in
+  (* --- client side of the trampoline --- *)
+  Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
+  let copy0 = Cpu.cycles cpu in
+  if large then guest_copy_out t ~core b.buffer_vas.(conn) msg;
+  let copy_cycles = ref (Cpu.cycles cpu - copy0) in
+  let client_key = fresh_key t in
+  (* --- VMFUNC into the server --- *)
+  let outer = t.active_client.(core) in
+  (* The trampoline returns to whatever EPTP slot it was entered from:
+     slot 0 for a plain client, the calling server's slot for a nested
+     call (the FS returning from the disk driver must land back in the
+     FS's address space, not the client's). *)
+  let return_index = Vmcs.current_index (Vcpu.vmcs_exn vcpu) in
+  Vmfunc.execute vcpu ~func:0 ~index:idx;
+  t.active_client.(core) <- Some ps;
+  let finish_return reply =
+    (* --- VMFUNC back, restore --- *)
+    Vmfunc.execute vcpu ~func:0 ~index:return_index;
+    t.active_client.(core) <- outer;
+    Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
+    reply
+  in
+  (* --- server side --- *)
+  (* Calling-key check against the server's table (§4.4). *)
+  let presented =
+    match attack with Some `Fake_server_key -> 0xBADBADL | _ -> b.server_key
+  in
+  if not (check_key t ~core srv presented) then begin
+    security t
+      (Printf.sprintf "server %d rejected key %Lx from pid %d" server_id
+         presented ps.proc.Proc.pid);
+    ignore (finish_return Bytes.empty);
+    raise (Bad_server_key { server_id; presented })
+  end;
+  let msg' =
+    if large then guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length msg)
+    else msg
+  in
+  let reply = srv.handler ~core msg' in
+  (* DoS timeout (§7): if the server burned past the budget, the kernel's
+     timer tick forces control back to the client. *)
+  (match timeout with
+  | Some budget when Cpu.cycles cpu - start > budget ->
+    Kernel.kernel_entry t.kernel ~core;
+    Kernel.kernel_exit t.kernel ~core;
+    let elapsed = Cpu.cycles cpu - start in
+    ignore (finish_return Bytes.empty);
+    security t (Printf.sprintf "server %d timed out after %d cycles" server_id elapsed);
+    raise (Call_timeout { server_id; elapsed })
+  | _ -> ());
+  (* Client-key echo (illegal client return defence). *)
+  let echoed =
+    match attack with Some `Corrupt_return_key -> Int64.lognot client_key | _ -> client_key
+  in
+  let reply_large = Bytes.length reply > Ipc.register_msg_limit in
+  if reply_large then begin
+    let c0 = Cpu.cycles cpu in
+    guest_copy_out t ~core b.buffer_vas.(conn) reply;
+    copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0)
+  end;
+  let reply = finish_return reply in
+  if echoed <> client_key then begin
+    security t (Printf.sprintf "server %d returned a corrupted client key" server_id);
+    raise (Bad_client_return { server_id })
+  end;
+  let reply =
+    if reply_large then begin
+      let c0 = Cpu.cycles cpu in
+      let r = guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length reply) in
+      copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0);
+      r
+    end
+    else reply
+  in
+  (* Accounting (Figure 7 categories). *)
+  t.stats.Breakdown.vmfunc <- t.stats.Breakdown.vmfunc + (2 * Costs.vmfunc);
+  t.stats.Breakdown.other <-
+    t.stats.Breakdown.other + (2 * Trampoline.crossing_cycles);
+  t.stats.Breakdown.copy <- t.stats.Breakdown.copy + !copy_cycles;
+  reply
+
+let current_identity t ~core = Rootkernel.current_identity t.root ~core
+
+(* ------------------------------------------------------------------ *)
+(* W^X code pages (§9)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let for_each_code_page proc f =
+  List.iter
+    (fun (va, code) ->
+      let pages = (Bytes.length code + 4095) / 4096 in
+      for i = 0 to pages - 1 do
+        f (va + (i * 4096))
+      done)
+    proc.Proc.code
+
+let make_code_writable t proc =
+  for_each_code_page proc (fun va ->
+      Page_table.protect proc.Proc.page_table ~mem:(Kernel.mem t.kernel) ~va
+        ~flags:{ Pte.urw with Pte.nx = true })
+
+let restore_code_executable t proc =
+  for_each_code_page proc (fun va ->
+      Page_table.protect proc.Proc.page_table ~mem:(Kernel.mem t.kernel) ~va
+        ~flags:Pte.urx);
+  (* Rescan the regenerated code — including instructions spanning
+     neighbouring pages, because we rescan whole regions, not pages. *)
+  rewrite_process t proc
+
+let proc_is_clean t proc =
+  List.for_all
+    (fun (_va, code) -> Sky_rewriter.Rewrite.clean code)
+    (Kernel.proc_code_bytes t.kernel proc)

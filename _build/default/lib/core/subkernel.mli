@@ -1,0 +1,109 @@
+(** The Subkernel side of SkyBridge: registration, calling keys, shared
+    buffers, EPTP-list management and [direct_server_call] (§4.2–§4.4).
+
+    This is the ~200-LoC-per-microkernel integration the paper describes,
+    written once against the common {!Sky_ukernel.Kernel} substrate so it
+    plugs into all three kernel personalities unchanged. *)
+
+type t
+
+(** Security violations detected by the optimistic checks. *)
+exception Not_registered of { client_pid : int; server_id : int }
+
+exception Bad_server_key of { server_id : int; presented : int64 }
+(** The callee did not find the presented key in its calling-key table —
+    an illegal server call (§4.4). *)
+
+exception Bad_client_return of { server_id : int }
+(** The callee returned a wrong client key — an illegal client return. *)
+
+exception Call_timeout of { server_id : int; elapsed : int }
+(** DoS defence (§7): the server exceeded the call's cycle budget and the
+    kernel forced control back to the client. *)
+
+exception Wx_violation of { pid : int; va : int }
+(** A process stored to one of its executable pages (§9 W^X). *)
+
+val init :
+  ?vpid:bool ->
+  ?huge_ept:bool ->
+  ?max_eptp:int ->
+  ?seed:int ->
+  Sky_ukernel.Kernel.t ->
+  t
+(** Boots the Rootkernel under the given kernel (the one line of Subkernel
+    boot code, §3.2) and hooks context switches to install EPTP lists.
+    [max_eptp] (default 512) bounds the per-process EPTP list; binding
+    more servers than fit triggers the LRU-eviction extension (§10). *)
+
+val rootkernel : t -> Rootkernel.t
+val kernel : t -> Sky_ukernel.Kernel.t
+
+val stats : t -> Sky_kernels.Breakdown.t
+(** Accumulated direct-call cycle breakdown (for Figure 7). *)
+
+val calls : t -> int
+val evictions : t -> int
+val security_events : t -> string list
+
+val register_server :
+  t ->
+  Sky_ukernel.Proc.t ->
+  ?connection_count:int ->
+  ?deps:int list ->
+  Sky_kernels.Ipc.handler ->
+  int
+(** [register_server t proc handler] implements Figure 4's
+    [register_server]: scans and rewrites the process's code pages, maps
+    the trampoline and per-connection stacks, allocates the calling-key
+    table, and returns the server ID. [deps] lists server IDs this server
+    itself calls (their EPTs are added to every client's EPTP list,
+    §4.2/§7 "Malicious Server Call"). *)
+
+val register_client_to_server :
+  t -> Sky_ukernel.Proc.t -> server_id:int -> unit
+(** Figure 4's [register_client_to_server]: rewrites/prepares the client,
+    asks the Rootkernel for the CR3-remapped server EPT (plus the
+    server's dependencies), generates the calling key and installs it in
+    the server's table, and allocates the shared buffers. *)
+
+val direct_server_call :
+  t ->
+  core:int ->
+  client:Sky_ukernel.Proc.t ->
+  server_id:int ->
+  ?timeout:int ->
+  ?attack:[ `Fake_server_key | `Corrupt_return_key ] ->
+  bytes ->
+  bytes
+(** The kernel-less IPC (§3.1, Figure 4's [direct_server_call]). May be
+    invoked from inside another server's handler (nested calls resolve
+    against the EPTP list of the root client, which carries the
+    dependency EPTs). [attack] is a test hook simulating a malicious
+    participant. *)
+
+val current_identity : t -> core:int -> int
+(** Pid of the address space live on [core] — the misidentification fix. *)
+
+val trampoline_code : t -> bytes
+
+val trampoline_va : int
+(** Where the trampoline page is mapped in every registered process. *)
+
+val server_stack_va : t -> server_id:int -> conn:int -> int
+(** Top of the [conn]-th per-connection stack the Subkernel mapped into
+    the server at registration (what the trampoline installs into RSP). *)
+
+val key_table_va : int
+(** Where a server's calling-key table page is mapped (read-only). *)
+
+val proc_is_clean : t -> Sky_ukernel.Proc.t -> bool
+(** No VMFUNC outside the trampoline in the process's executable pages. *)
+
+val make_code_writable : t -> Sky_ukernel.Proc.t -> unit
+(** W^X (§9): flip the process's code pages to writable+non-executable so
+    dynamic code generation can proceed. *)
+
+val restore_code_executable : t -> Sky_ukernel.Proc.t -> unit
+(** Flip back to executable+read-only and {e rescan} the regenerated code,
+    rewriting any VMFUNC the generator produced. *)

@@ -1,0 +1,58 @@
+(** The SkyBridge trampoline (§4.4): a real x86-64 code page mapped by the
+    Subkernel into every registered process at {!Sky_ukernel.Layout.trampoline_va}.
+
+    The bytes matter: the trampoline contains the only two legal VMFUNC
+    instructions in a process, and the binary rewriter's allowed-range
+    logic and the W^X story are exercised against this page. Execution is
+    modelled: each crossing charges the paper's measured 64 cycles of
+    save/restore + stack-install work (§6.3) plus VMFUNC's 134, and pulls
+    the trampoline's code lines through the i-cache. *)
+
+open Sky_isa
+
+(* direct_server_call entry:
+     save callee-saved registers, load the EPTP index, VMFUNC into the
+     server, install the server stack, call the registered handler via
+     the server function list, VMFUNC back, restore, return. *)
+let insns =
+  [
+    Insn.Push Reg.Rbx;
+    Insn.Push Reg.Rbp;
+    Insn.Push Reg.R12;
+    Insn.Push Reg.R13;
+    Insn.Push Reg.R14;
+    Insn.Push Reg.R15;
+    Insn.Mov_rr (Reg.Rbp, Reg.Rsp) (* remember the client stack *);
+    Insn.Mov_ri (Reg.Rax, 0L) (* VM function 0: EPTP switching *);
+    Insn.Mov_rr (Reg.Rcx, Reg.Rdi) (* EPTP index argument *);
+    Insn.Vmfunc;
+    Insn.Mov_rr (Reg.Rsp, Reg.Rsi) (* install the server stack *);
+    Insn.Mov_load (Reg.R11, Insn.mem ~base:Reg.Rdx ()) (* function list *);
+    Insn.Call_rel 0 (* call the registered handler (linked at runtime) *);
+    Insn.Mov_ri (Reg.Rax, 0L);
+    Insn.Mov_ri (Reg.Rcx, 0L) (* EPTP index 0: back to the caller *);
+    Insn.Vmfunc;
+    Insn.Mov_rr (Reg.Rsp, Reg.Rbp) (* restore the client stack *);
+    Insn.Pop Reg.R15;
+    Insn.Pop Reg.R14;
+    Insn.Pop Reg.R13;
+    Insn.Pop Reg.R12;
+    Insn.Pop Reg.Rbp;
+    Insn.Pop Reg.Rbx;
+    Insn.Ret;
+  ]
+
+let code () = Encode.encode_all insns
+
+(* Offsets of the two legal VMFUNCs — the allowed ranges for the
+   rewriter. *)
+let vmfunc_ranges code =
+  List.map (fun off -> (off, 3)) (Sky_rewriter.Scan.find_pattern code)
+
+let crossing_cycles = Sky_sim.Costs.skybridge_crossing_other
+
+let charge_crossing cpu ~text_pa =
+  Sky_sim.Cpu.charge cpu crossing_cycles;
+  (* The trampoline text itself flows through the i-cache. *)
+  Sky_sim.Memsys.touch_range_state_only cpu Sky_sim.Memsys.Insn ~pa:text_pa
+    ~len:128

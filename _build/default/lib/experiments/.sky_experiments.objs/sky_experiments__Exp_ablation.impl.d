@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Bytes Config Kernel List Printf Sky_core Sky_harness Sky_kernels Sky_mmu Sky_sim Sky_ukernel Tbl

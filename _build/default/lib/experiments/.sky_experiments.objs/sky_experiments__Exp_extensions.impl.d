@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Bytes Config Ipc Kernel List Printf Sky_core Sky_harness Sky_kernels Sky_sim Sky_ukernel Sky_ycsb Stack Tbl

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Breakdown Bytes Config Ipc Kernel List Sky_core Sky_harness Sky_kernels Sky_sim Sky_ukernel Tbl

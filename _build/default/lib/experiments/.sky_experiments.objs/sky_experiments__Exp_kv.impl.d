@@ -1,0 +1,1 @@
+lib/experiments/exp_kv.ml: Kernel List Pipeline Printf Sky_core Sky_harness Sky_kvstore Sky_sim Sky_ukernel Tbl

@@ -1,0 +1,1 @@
+lib/experiments/exp_scheduling.ml: List Printf Scheduler Sky_harness Sky_kernels Sky_sim Tbl

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Config Kernel Sky_core Sky_harness Sky_mmu Sky_sim Sky_ukernel Tbl

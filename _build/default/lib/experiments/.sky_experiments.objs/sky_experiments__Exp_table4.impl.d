@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Config Kernel List Printf Sky_harness Sky_sim Sky_sqldb Sky_ukernel Stack Tbl

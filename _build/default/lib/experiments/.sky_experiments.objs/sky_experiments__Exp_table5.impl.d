@@ -1,0 +1,1 @@
+lib/experiments/exp_table5.ml: Config Option Printf Sky_core Sky_harness Sky_ukernel Sky_ycsb Stack Tbl

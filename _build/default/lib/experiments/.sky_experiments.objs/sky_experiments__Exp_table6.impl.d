@@ -1,0 +1,1 @@
+lib/experiments/exp_table6.ml: List Printf Sky_harness Sky_rewriter Tbl

@@ -1,0 +1,1 @@
+lib/experiments/exp_ycsb.ml: Config List Printf Sky_harness Sky_ukernel Sky_ycsb Stack Tbl

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_extensions Exp_fig7 Exp_kv Exp_scheduling Exp_table2 Exp_table4 Exp_table5 Exp_table6 Exp_ycsb List Sky_harness

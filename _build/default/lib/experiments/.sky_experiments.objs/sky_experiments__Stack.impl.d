@@ -1,0 +1,1 @@
+lib/experiments/stack.ml: Config Disk Fs Fs_iface Kernel Proc Ramdisk Sky_blockdev Sky_core Sky_kernels Sky_sim Sky_sqldb Sky_ukernel Sky_xv6fs

@@ -1,0 +1,148 @@
+(** Ablations of the design choices DESIGN.md calls out:
+
+    1. 1 GiB vs 4 KiB base EPT (nested-walk length, EPT footprint);
+    2. VPID on vs off (TLB flush on every VMFUNC);
+    3. KPTI on vs off on the seL4 fastpath;
+    4. shallow vs deep EPT copy at client registration;
+    5. EPTP-list LRU eviction overhead beyond the list size. *)
+
+open Sky_ukernel
+open Sky_harness
+
+let direct_roundtrip ?(vpid = true) ?(huge_ept = true) ?max_eptp ?(ws_pages = 8) ~servers () =
+  let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:128 () in
+  let kernel = Kernel.create machine in
+  let sb = Sky_core.Subkernel.init ~vpid ~huge_ept ?max_eptp kernel in
+  let client = Kernel.spawn kernel ~name:"client" in
+  let vcpu = Kernel.vcpu kernel ~core:0 in
+  let mem = Kernel.mem kernel in
+  (* Client- and server-side data working sets: the VPID and EPT-page
+     ablations only show up when the workload actually relies on warm
+     TLB entries across the crossing. *)
+  let client_ws = Kernel.map_anon kernel client (ws_pages * 4096) in
+  let sids =
+    List.init servers (fun i ->
+        let s = Kernel.spawn kernel ~name:(Printf.sprintf "srv%d" i) in
+        let ws = Kernel.map_anon kernel s (4 * 4096) in
+        let handler ~core:_ m =
+          for page = 0 to 3 do
+            ignore (Sky_mmu.Translate.read_u64 vcpu mem ~va:(ws + (page * 4096)))
+          done;
+          m
+        in
+        let sid = Sky_core.Subkernel.register_server sb s handler in
+        Sky_core.Subkernel.register_client_to_server sb client ~server_id:sid;
+        sid)
+  in
+  Kernel.context_switch kernel ~core:0 client;
+  Sky_mmu.Vcpu.set_mode vcpu Sky_mmu.Vcpu.User;
+  let cpu = Kernel.cpu kernel ~core:0 in
+  let msg = Bytes.create 8 in
+  let one sid =
+    for page = 0 to ws_pages - 1 do
+      ignore (Sky_mmu.Translate.read_u64 vcpu mem ~va:(client_ws + (page * 4096)))
+    done;
+    ignore (Sky_core.Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid msg)
+  in
+  (* Round-robin over all servers: with a short EPTP list this thrashes
+     the eviction path. *)
+  List.iter one sids;
+  let iters = 200 in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for i = 1 to iters do
+    one (List.nth sids (i mod servers))
+  done;
+  ((Sky_sim.Cpu.cycles cpu - t0) / iters, sb)
+
+let fastpath_roundtrip ~kpti =
+  let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:64 () in
+  let config = { (Config.default Config.Sel4) with Config.kpti } in
+  let kernel = Kernel.create ~config machine in
+  let ipc = Sky_kernels.Ipc.create kernel in
+  let client = Kernel.spawn kernel ~name:"c" in
+  let server = Kernel.spawn kernel ~name:"s" in
+  let ep = Sky_kernels.Ipc.register ipc server (fun ~core:_ m -> m) in
+  Kernel.context_switch kernel ~core:0 client;
+  let msg = Bytes.create 8 in
+  for _ = 1 to 20 do
+    ignore (Sky_kernels.Ipc.call ipc ~core:0 ~client ep msg)
+  done;
+  let cpu = Kernel.cpu kernel ~core:0 in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for _ = 1 to 200 do
+    ignore (Sky_kernels.Ipc.call ipc ~core:0 ~client ep msg)
+  done;
+  (Sky_sim.Cpu.cycles cpu - t0) / 200
+
+let ept_copy_pages () =
+  (* Fair contrast: a 64 MiB guest mapped with 4 KiB EPT pages (what a
+     commodity hypervisor's EPT looks like). A CR3-remap binding needs a
+     private view of it: §4.3's shallow copy privatizes 4 pages; a naive
+     deep copy duplicates the whole radix tree. *)
+  let machine = Sky_sim.Machine.create ~cores:1 ~mem_mib:128 () in
+  let mem = machine.Sky_sim.Machine.mem and alloc = machine.Sky_sim.Machine.alloc in
+  let base = Sky_mmu.Ept.create alloc in
+  Sky_mmu.Ept.map_identity_4k base ~mem ~alloc ~mib:64;
+  let shallow = Sky_mmu.Ept.clone_shallow base ~mem ~alloc in
+  Sky_mmu.Ept.remap_gpa shallow ~mem ~alloc ~gpa:0x123000 ~hpa:0x456000;
+  let deep = Sky_mmu.Ept.clone_deep base ~mem ~alloc in
+  (Sky_mmu.Ept.pages_owned shallow, Sky_mmu.Ept.pages_owned deep)
+
+let nested_walk_accesses ~huge_ept =
+  (* Count d-cache accesses of one cold nested translation. *)
+  let machine = Sky_sim.Machine.create ~cores:1 ~mem_mib:128 () in
+  let kernel = Kernel.create machine in
+  let sb = Sky_core.Subkernel.init ~huge_ept kernel in
+  ignore (Sky_core.Subkernel.rootkernel sb);
+  let proc = Kernel.spawn kernel ~name:"p" in
+  let va = Kernel.map_anon kernel proc 4096 in
+  Kernel.context_switch kernel ~core:0 proc;
+  Sky_mmu.Vcpu.set_mode (Kernel.vcpu kernel ~core:0) Sky_mmu.Vcpu.User;
+  let cpu = Kernel.cpu kernel ~core:0 in
+  let before =
+    Sky_sim.Cache.hits (Sky_sim.Cpu.l1d cpu) + Sky_sim.Cache.misses (Sky_sim.Cpu.l1d cpu)
+  in
+  ignore
+    (Sky_mmu.Translate.translate (Kernel.vcpu kernel ~core:0) (Kernel.mem kernel)
+       Sky_mmu.Translate.data_read ~va);
+  Sky_sim.Cache.hits (Sky_sim.Cpu.l1d cpu)
+  + Sky_sim.Cache.misses (Sky_sim.Cpu.l1d cpu)
+  - before
+
+let run () =
+  let huge_walk = nested_walk_accesses ~huge_ept:true in
+  let small_walk = nested_walk_accesses ~huge_ept:false in
+  (* EPT page size matters when walks are live: use a working set beyond
+     the 64-entry dTLB. VPID matters when the workload *relies* on warm
+     entries: use a small one. *)
+  let rt_huge, _ = direct_roundtrip ~ws_pages:80 ~servers:1 () in
+  let rt_small, _ = direct_roundtrip ~ws_pages:80 ~huge_ept:false ~servers:1 () in
+  let rt_vpid, _ = direct_roundtrip ~vpid:true ~servers:1 () in
+  let rt_novpid, _ = direct_roundtrip ~vpid:false ~servers:1 () in
+  let kpti_off = fastpath_roundtrip ~kpti:false in
+  let kpti_on = fastpath_roundtrip ~kpti:true in
+  let shallow_pages, deep_pages = ept_copy_pages () in
+  let rt_fit, sb_fit = direct_roundtrip ~max_eptp:12 ~servers:8 () in
+  let rt_evict, sb_evict = direct_roundtrip ~max_eptp:4 ~servers:8 () in
+  Tbl.make ~title:"Ablations: SkyBridge design choices"
+    ~header:[ "design choice"; "chosen"; "alternative"; "unit" ]
+    ~notes:
+      [
+        Printf.sprintf "eviction run: %d evictions with max_eptp=4 vs %d with 12"
+          (Sky_core.Subkernel.evictions sb_evict)
+          (Sky_core.Subkernel.evictions sb_fit);
+      ]
+    [
+      [ "base EPT page size: nested-walk accesses (1G vs 4K)";
+        Tbl.fmt_int huge_walk; Tbl.fmt_int small_walk; "accesses" ];
+      [ "base EPT page size: direct-call roundtrip";
+        Tbl.fmt_int rt_huge; Tbl.fmt_int rt_small; "cycles" ];
+      [ "VPID on (no flush) vs off (flush on VMFUNC)";
+        Tbl.fmt_int rt_vpid; Tbl.fmt_int rt_novpid; "cycles" ];
+      [ "KPTI off vs on (seL4 fastpath roundtrip)";
+        Tbl.fmt_int kpti_off; Tbl.fmt_int kpti_on; "cycles" ];
+      [ "EPT copy at binding: shallow vs deep";
+        Tbl.fmt_int shallow_pages; Tbl.fmt_int deep_pages; "pages" ];
+      [ "EPTP list: fits (12 slots) vs evicting (4 slots), 8 servers";
+        Tbl.fmt_int rt_fit; Tbl.fmt_int rt_evict; "cycles" ];
+    ]

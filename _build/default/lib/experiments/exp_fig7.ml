@@ -1,0 +1,126 @@
+(** Figure 7: performance breakdown of synchronous IPC in the three
+    microkernels (single-core and cross-core) and SkyBridge's 396-cycle
+    roundtrip. *)
+
+open Sky_ukernel
+open Sky_kernels
+open Sky_harness
+
+type row = {
+  label : string;
+  paper : int;
+  measured : int;
+  breakdown : Breakdown.t;
+}
+
+let iters_warm = 50
+let iters = 1000
+
+let measure_baseline ~variant ~cross =
+  let machine = Sky_sim.Machine.create ~cores:4 ~mem_mib:64 () in
+  let kernel = Kernel.create ~config:(Config.default variant) machine in
+  let ipc = Ipc.create kernel in
+  let client = Kernel.spawn kernel ~name:"client" in
+  let server = Kernel.spawn kernel ~name:"server" in
+  let ep =
+    Ipc.register ipc server
+      ~cores:(if cross then [ 1 ] else [])
+      (fun ~core:_ msg -> msg)
+  in
+  Kernel.context_switch kernel ~core:0 client;
+  let msg = Bytes.create 8 in
+  for _ = 1 to iters_warm do
+    ignore (Ipc.call ipc ~core:0 ~client ep msg)
+  done;
+  (* Reset stats after warmup for a clean steady-state breakdown. *)
+  let bd0 = Breakdown.create () in
+  Breakdown.add bd0 ep.Ipc.stats;
+  let cpu = Kernel.cpu kernel ~core:0 in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for _ = 1 to iters do
+    ignore (Ipc.call ipc ~core:0 ~client ep msg)
+  done;
+  let per_rt = (Sky_sim.Cpu.cycles cpu - t0) / iters in
+  (* Per-roundtrip breakdown over the measured window. *)
+  let bd = Breakdown.create () in
+  Breakdown.add bd ep.Ipc.stats;
+  bd.Breakdown.vmfunc <- bd.Breakdown.vmfunc - bd0.Breakdown.vmfunc;
+  bd.Breakdown.syscall <- bd.Breakdown.syscall - bd0.Breakdown.syscall;
+  bd.Breakdown.ctx <- bd.Breakdown.ctx - bd0.Breakdown.ctx;
+  bd.Breakdown.ipi <- bd.Breakdown.ipi - bd0.Breakdown.ipi;
+  bd.Breakdown.copy <- bd.Breakdown.copy - bd0.Breakdown.copy;
+  bd.Breakdown.sched <- bd.Breakdown.sched - bd0.Breakdown.sched;
+  bd.Breakdown.other <- bd.Breakdown.other - bd0.Breakdown.other;
+  (per_rt, Breakdown.scale bd iters)
+
+let measure_skybridge ~variant =
+  let machine = Sky_sim.Machine.create ~cores:4 ~mem_mib:64 () in
+  let kernel = Kernel.create ~config:(Config.default variant) machine in
+  let sb = Sky_core.Subkernel.init kernel in
+  let client = Kernel.spawn kernel ~name:"client" in
+  let server = Kernel.spawn kernel ~name:"server" in
+  let sid = Sky_core.Subkernel.register_server sb server (fun ~core:_ msg -> msg) in
+  Sky_core.Subkernel.register_client_to_server sb client ~server_id:sid;
+  Kernel.context_switch kernel ~core:0 client;
+  let msg = Bytes.create 8 in
+  for _ = 1 to iters_warm do
+    ignore (Sky_core.Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid msg)
+  done;
+  let cpu = Kernel.cpu kernel ~core:0 in
+  let calls0 = Sky_core.Subkernel.calls sb in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for _ = 1 to iters do
+    ignore (Sky_core.Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid msg)
+  done;
+  let per_rt = (Sky_sim.Cpu.cycles cpu - t0) / iters in
+  ignore calls0;
+  let bd = Breakdown.scale (Sky_core.Subkernel.stats sb) (Sky_core.Subkernel.calls sb) in
+  (per_rt, bd)
+
+let run () =
+  let rows =
+    [
+      (let m, b = measure_skybridge ~variant:Config.Sel4 in
+       { label = "seL4-SkyBridge"; paper = 396; measured = m; breakdown = b });
+      (let m, b = measure_skybridge ~variant:Config.Fiasco in
+       { label = "Fiasco.OC-SkyBridge"; paper = 396; measured = m; breakdown = b });
+      (let m, b = measure_skybridge ~variant:Config.Zircon in
+       { label = "Zircon-SkyBridge"; paper = 396; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Sel4 ~cross:false in
+       { label = "seL4 fastpath (1 core)"; paper = 986; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Sel4 ~cross:true in
+       { label = "seL4 cross core"; paper = 6764; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Fiasco ~cross:false in
+       { label = "Fiasco fastpath (1 core)"; paper = 2717; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Fiasco ~cross:true in
+       { label = "Fiasco cross core"; paper = 8440; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Zircon ~cross:false in
+       { label = "Zircon (1 core)"; paper = 8157; measured = m; breakdown = b });
+      (let m, b = measure_baseline ~variant:Config.Zircon ~cross:true in
+       { label = "Zircon cross core"; paper = 20099; measured = m; breakdown = b });
+    ]
+  in
+  Tbl.make ~title:"Figure 7: synchronous IPC roundtrip breakdown (cycles)"
+    ~header:
+      [ "configuration"; "paper"; "ours"; "vmfunc"; "syscall"; "ctx"; "ipi";
+        "copy"; "sched"; "other" ]
+    ~notes:
+      [
+        "breakdown columns are per-roundtrip direct costs; 'ours' also \
+         includes warm cache accesses on the path";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Tbl.fmt_int r.paper;
+           Tbl.fmt_int r.measured;
+           Tbl.fmt_int r.breakdown.Breakdown.vmfunc;
+           Tbl.fmt_int r.breakdown.Breakdown.syscall;
+           Tbl.fmt_int r.breakdown.Breakdown.ctx;
+           Tbl.fmt_int r.breakdown.Breakdown.ipi;
+           Tbl.fmt_int r.breakdown.Breakdown.copy;
+           Tbl.fmt_int r.breakdown.Breakdown.sched;
+           Tbl.fmt_int r.breakdown.Breakdown.other;
+         ])
+       rows)

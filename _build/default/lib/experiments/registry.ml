@@ -1,0 +1,40 @@
+(** Experiment registry: one entry per paper table/figure (plus the
+    ablations), consumed by bench/main.ml and bin/skybench.ml. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : unit -> Sky_harness.Tbl.t;
+}
+
+let all =
+  [
+    { id = "table1"; title = "Table 1: processor-structure pollution";
+      run = Exp_kv.run_table1 };
+    { id = "table2"; title = "Table 2: instruction latencies"; run = Exp_table2.run };
+    { id = "fig2"; title = "Figure 2: KV-store latency (baselines)";
+      run = Exp_kv.run_fig2 };
+    { id = "fig7"; title = "Figure 7: IPC breakdown"; run = Exp_fig7.run };
+    { id = "fig8"; title = "Figure 8: KV-store latency with SkyBridge";
+      run = Exp_kv.run_fig8 };
+    { id = "table4"; title = "Table 4: SQLite3 operations"; run = Exp_table4.run };
+    { id = "fig9"; title = "Figure 9: YCSB-A on seL4"; run = Exp_ycsb.run_fig9 };
+    { id = "fig10"; title = "Figure 10: YCSB-A on Fiasco.OC"; run = Exp_ycsb.run_fig10 };
+    { id = "fig11"; title = "Figure 11: YCSB-A on Zircon"; run = Exp_ycsb.run_fig11 };
+    { id = "table5"; title = "Table 5: Rootkernel virtualization overhead";
+      run = Exp_table5.run };
+    { id = "table6"; title = "Table 6: inadvertent VMFUNC scan";
+      run = (fun () -> Exp_table6.run ()) };
+    { id = "ablation"; title = "Ablations: design choices"; run = Exp_ablation.run };
+    { id = "monolithic"; title = "Extension: SkyBridge on a monolithic kernel (SS10)";
+      run = Exp_extensions.run_monolithic };
+    { id = "tempmap"; title = "Extension: temporary mapping for long IPC (SS8.1)";
+      run = Exp_extensions.run_tempmap };
+    { id = "scheduling"; title = "Extension: lazy vs Benno scheduling (SS8.1)";
+      run = Exp_scheduling.run };
+    { id = "ycsbmix"; title = "Extension: YCSB A/B/C mix sensitivity";
+      run = Exp_extensions.run_ycsb_mix };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,99 @@
+(** The multi-tier SQLite stack of §6.5: client(+DB) → xv6fs server →
+    RAM-disk server, assembled over each interconnect in the evaluation:
+
+    - [Ipc { st = true }]: one server working thread each, pinned to
+      dedicated cores (the client reaches them via cross-core IPC);
+    - [Ipc { st = false }] (MT-Server): server threads pinned per core,
+      every call takes the local path;
+    - [Skybridge]: direct server calls; the disk is a dependency of the
+      FS, so its EPT rides in every client's EPTP list. *)
+
+open Sky_ukernel
+open Sky_blockdev
+open Sky_xv6fs
+
+type transport = Ipc of { st : bool } | Skybridge
+
+let transport_name = function
+  | Ipc { st = true } -> "ST-Server"
+  | Ipc { st = false } -> "MT-Server"
+  | Skybridge -> "SkyBridge"
+
+type t = {
+  machine : Sky_sim.Machine.t;
+  kernel : Kernel.t;
+  client : Proc.t;
+  fs : Fs.t;  (** server-side handle, for stats *)
+  iface : Fs_iface.t;  (** client-side view over the transport *)
+  db : Sky_sqldb.Db.t;
+  sb : Sky_core.Subkernel.t option;
+  ramdisk : Ramdisk.t;
+}
+
+let fs_server_core = 1
+let disk_server_core = 2
+
+let build ?(variant = Config.Sel4) ?(kpti = false) ?(cores = 8)
+    ?(disk_blocks = 16384) ?(value_size = 100) ~transport () =
+  let machine = Sky_sim.Machine.create ~cores ~mem_mib:128 () in
+  let config = { (Config.default variant) with Config.kpti } in
+  let kernel = Kernel.create ~config machine in
+  let ramdisk = Ramdisk.create machine ~nblocks:disk_blocks in
+  let raw = Disk.direct kernel ramdisk in
+  Fs.mkfs kernel raw ~core:0 ~size:disk_blocks ~ninodes:64 ();
+  let client = Kernel.spawn kernel ~name:"client" in
+  let fs_proc = Kernel.spawn kernel ~name:"xv6fs" in
+  let disk_proc = Kernel.spawn kernel ~name:"blockdev" in
+  let sb, iface, fs =
+    match transport with
+    | Ipc { st } ->
+      let ipc = Sky_kernels.Ipc.create kernel in
+      let disk_ep =
+        Sky_kernels.Ipc.register ipc disk_proc
+          ~cores:(if st then [ disk_server_core ] else [])
+          (Disk.handler kernel ramdisk)
+      in
+      let fs =
+        Fs.mount kernel (Disk.over_ipc ipc ~client:fs_proc disk_ep) ~core:0
+      in
+      let fs_ep =
+        Sky_kernels.Ipc.register ipc fs_proc
+          ~cores:(if st then [ fs_server_core ] else [])
+          (Fs_iface.server_handler fs)
+      in
+      ( None,
+        Fs_iface.over_call (fun ~core msg ->
+            Sky_kernels.Ipc.call ipc ~core ~client fs_ep msg),
+        fs )
+    | Skybridge ->
+      let sb = Sky_core.Subkernel.init kernel in
+      let disk_sid =
+        Sky_core.Subkernel.register_server sb disk_proc
+          ~connection_count:cores (Disk.handler kernel ramdisk)
+      in
+      Sky_core.Subkernel.register_client_to_server sb fs_proc ~server_id:disk_sid;
+      let fs =
+        Fs.mount kernel
+          (Disk.over_skybridge sb ~client:fs_proc ~server_id:disk_sid)
+          ~core:0
+      in
+      let fs_sid =
+        Sky_core.Subkernel.register_server sb fs_proc ~connection_count:cores
+          ~deps:[ disk_sid ] (Fs_iface.server_handler fs)
+      in
+      Sky_core.Subkernel.register_client_to_server sb client ~server_id:fs_sid;
+      ( Some sb,
+        Fs_iface.over_call (fun ~core msg ->
+            Sky_core.Subkernel.direct_server_call sb ~core ~client
+              ~server_id:fs_sid msg),
+        fs )
+  in
+  Kernel.context_switch kernel ~core:0 client;
+  let db = Sky_sqldb.Db.create kernel iface ~core:0 ~name:"sqlite3" ~value_size in
+  { machine; kernel; client; fs; iface; db; sb; ramdisk }
+
+(* Make the client current on the cores a multi-threaded run will use. *)
+let spread_client t ~threads =
+  for core = 0 to threads - 1 do
+    Kernel.context_switch t.kernel ~core t.client
+  done

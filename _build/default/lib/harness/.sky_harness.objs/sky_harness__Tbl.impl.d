@@ -1,0 +1,1 @@
+lib/harness/tbl.ml: Array Buffer List Printf String

@@ -1,0 +1,67 @@
+(** Minimal aligned-table rendering for experiment output, with optional
+    paper-reference columns so every bench prints "paper vs measured"
+    side by side. *)
+
+type t = { title : string; header : string list; rows : string list list; notes : string list }
+
+let make ~title ~header ?(notes = []) rows = { title; header; rows; notes }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let w = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)))
+    all;
+  w
+
+let render t =
+  let w = widths t in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun i c ->
+           let pad = w.(i) - String.length c in
+           if i = 0 then c ^ String.make pad ' ' else String.make pad ' ' ^ c)
+         cells)
+  in
+  let sep =
+    String.concat "--"
+      (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "### %s\n\n" t.title);
+  let row cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buf (row t.header);
+  Buffer.add_string buf (row (List.map (fun _ -> "---") t.header));
+  List.iter (fun r -> Buffer.add_string buf (row r)) t.rows;
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "\n> %s\n" n)) t.notes;
+  Buffer.add_string buf "\n";
+  Buffer.contents buf
+
+let fmt_int n =
+  (* 12345 -> "12,345" for readability *)
+  let s = string_of_int n in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float f = Printf.sprintf "%.1f" f
+let fmt_ops f = Printf.sprintf "%.0f" f
+let fmt_speedup f = Printf.sprintf "%+.1f%%" ((f -. 1.0) *. 100.0)

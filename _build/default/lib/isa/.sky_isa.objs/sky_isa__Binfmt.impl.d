@@ -1,0 +1,1 @@
+lib/isa/binfmt.ml: Buffer Bytes Char Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Char Encode Insn Int64 List Option Reg

@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Bytes Char Decode Hashtbl Insn Int64 List Option Printf Reg

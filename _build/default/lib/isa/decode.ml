@@ -1,0 +1,469 @@
+(** x86-64 instruction decoder (length + semantics for the known subset).
+
+    Used by the VMFUNC rewriter to establish instruction boundaries while
+    scanning code pages (§5.2: "the Subkernel will bookkeep current
+    instruction during scanning, which helps to determine instruction's
+    boundary"). Instructions outside the known subset decode as
+    single-byte [None] so the scan never diverges on data. *)
+
+type decoded = {
+  off : int;  (** offset of the first byte within the scanned buffer *)
+  len : int;
+  insn : Insn.t option;  (** [None] for bytes we cannot give semantics to *)
+  layout : Encode.layout;  (** offsets relative to [off] *)
+}
+
+let opaque_layout ~len ~opcode_off ~opcode_len =
+  {
+    Encode.len;
+    opcode_off;
+    opcode_len;
+    modrm_off = None;
+    sib_off = None;
+    disp_off = None;
+    disp_len = 0;
+    imm_off = None;
+    imm_len = 0;
+  }
+
+let u8 code i = Char.code (Bytes.get code i)
+
+let i32_at code i =
+  let v =
+    u8 code i lor (u8 code (i + 1) lsl 8) lor (u8 code (i + 2) lsl 16)
+    lor (u8 code (i + 3) lsl 24)
+  in
+  (* sign extend *)
+  (v lxor 0x8000_0000) - 0x8000_0000
+
+let i8_at code i =
+  let v = u8 code i in
+  if v >= 128 then v - 256 else v
+
+let i64_at code i =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 code (i + k)))
+  done;
+  !v
+
+type modrm_parse = {
+  modrm : int;
+  md : int;
+  reg : int;  (** with REX.R applied *)
+  rm_operand : Insn.mem_or_reg option;  (** None for RIP-relative *)
+  next : int;  (** offset just past ModRM/SIB/disp *)
+  sib_off : int option;
+  disp_off : int option;
+  disp_len : int;
+}
+
+(* Parse ModRM (+SIB +disp) starting at [i]; [rex] is the REX byte or 0. *)
+let parse_modrm code ~limit ~rex i =
+  if i >= limit then None
+  else begin
+    let m = u8 code i in
+    let md = m lsr 6 and reg0 = (m lsr 3) land 7 and rm = m land 7 in
+    let rex_r = rex land 4 <> 0 and rex_x = rex land 2 <> 0 and rex_b = rex land 1 <> 0 in
+    let reg = if rex_r then reg0 lor 8 else reg0 in
+    let need_sib = md <> 3 && rm = 4 in
+    let sib_off = if need_sib then Some (i + 1) else None in
+    let after_sib = i + 1 + if need_sib then 1 else 0 in
+    if need_sib && i + 1 >= limit then None
+    else begin
+      let sib = if need_sib then u8 code (i + 1) else 0 in
+      let sib_base = sib land 7 in
+      let disp_len =
+        if md = 1 then 1
+        else if md = 2 then 4
+        else if md = 0 && ((not need_sib) && rm = 5) then 4 (* RIP-relative *)
+        else if md = 0 && need_sib && sib_base = 5 then 4
+        else 0
+      in
+      if after_sib + disp_len > limit then None
+      else begin
+        let disp_off = if disp_len > 0 then Some after_sib else None in
+        let disp =
+          match disp_len with
+          | 1 -> i8_at code after_sib
+          | 4 -> i32_at code after_sib
+          | _ -> 0
+        in
+        let rm_operand =
+          if md = 3 then
+            Some (Insn.R (Reg.of_encoding (if rex_b then rm lor 8 else rm)))
+          else if (not need_sib) && rm = 5 && md = 0 then None (* RIP-rel *)
+          else if need_sib then begin
+            let scale = 1 lsl (sib lsr 6) in
+            let idx = (sib lsr 3) land 7 in
+            let index =
+              let idx = if rex_x then idx lor 8 else idx in
+              if idx = 4 then None (* no index *)
+              else Some (Reg.of_encoding idx, scale)
+            in
+            let base =
+              if sib_base = 5 && md = 0 then None
+              else Some (Reg.of_encoding (if rex_b then sib_base lor 8 else sib_base))
+            in
+            Some (Insn.M { Insn.base; index; disp })
+          end
+          else
+            Some
+              (Insn.M
+                 {
+                   Insn.base = Some (Reg.of_encoding (if rex_b then rm lor 8 else rm));
+                   index = None;
+                   disp;
+                 })
+        in
+        Some
+          {
+            modrm = m;
+            md;
+            reg;
+            rm_operand;
+            next = after_sib + disp_len;
+            sib_off;
+            disp_off;
+            disp_len;
+          }
+      end
+    end
+  end
+
+let is_legacy_prefix b =
+  match b with
+  | 0x66 | 0x67 | 0xF0 | 0xF2 | 0xF3 | 0x2E | 0x36 | 0x3E | 0x26 | 0x64 | 0x65 ->
+    true
+  | _ -> false
+
+(* Decode one instruction at [off]. Never raises: at worst a 1-byte
+   opaque. *)
+let decode_one code off =
+  let limit = Bytes.length code in
+  assert (off < limit);
+  let opaque1 =
+    {
+      off;
+      len = 1;
+      insn = None;
+      layout = opaque_layout ~len:1 ~opcode_off:0 ~opcode_len:1;
+    }
+  in
+  (* Skip legacy prefixes, then an optional REX. *)
+  let rec skip_prefixes i = if i < limit && is_legacy_prefix (u8 code i) then skip_prefixes (i + 1) else i in
+  let p = skip_prefixes off in
+  if p >= limit then opaque1
+  else begin
+    let rex, o = if u8 code p land 0xF0 = 0x40 then (u8 code p, p + 1) else (0, p) in
+    if o >= limit then opaque1
+    else begin
+      let rex_w = rex land 8 <> 0 in
+      let rex_b = rex land 1 <> 0 in
+      let opc = u8 code o in
+      let fin ?(insn = None) ?modrm ?imm last =
+        (* [last] = offset one past the final byte. *)
+        let len = last - off in
+        let modrm_off, sib_off, disp_off, disp_len =
+          match modrm with
+          | None -> (None, None, None, 0)
+          | Some mp ->
+            ( Some (o + 1 - off),
+              Option.map (fun x -> x - off) mp.sib_off,
+              Option.map (fun x -> x - off) mp.disp_off,
+              mp.disp_len )
+        in
+        let imm_off, imm_len =
+          match imm with None -> (None, 0) | Some (io, il) -> (Some (io - off), il)
+        in
+        {
+          off;
+          len;
+          insn;
+          layout =
+            {
+              Encode.len;
+              opcode_off = o - off;
+              opcode_len = 1;
+              modrm_off;
+              sib_off;
+              disp_off;
+              disp_len;
+              imm_off;
+              imm_len;
+            };
+        }
+      in
+      let with_modrm k =
+        match parse_modrm code ~limit ~rex (o + 1) with
+        | None -> opaque1
+        | Some mp -> k mp
+      in
+      let reg_of mp = Reg.of_encoding mp.reg in
+      match opc with
+      | 0x90 -> fin ~insn:(Some Insn.Nop) (o + 1)
+      | 0xC3 -> fin ~insn:(Some Insn.Ret) (o + 1)
+      | b when b land 0xF8 = 0x50 ->
+        let r = (b land 7) lor if rex_b then 8 else 0 in
+        fin ~insn:(Some (Insn.Push (Reg.of_encoding r))) (o + 1)
+      | b when b land 0xF8 = 0x58 ->
+        let r = (b land 7) lor if rex_b then 8 else 0 in
+        fin ~insn:(Some (Insn.Pop (Reg.of_encoding r))) (o + 1)
+      | b when b land 0xF8 = 0xB8 ->
+        (* movabs / mov imm32 *)
+        let r = Reg.of_encoding ((b land 7) lor if rex_b then 8 else 0) in
+        if rex_w then
+          if o + 9 > limit then opaque1
+          else fin ~insn:(Some (Insn.Mov_ri (r, i64_at code (o + 1)))) ~imm:(o + 1, 8) (o + 9)
+        else if o + 5 > limit then opaque1
+        else
+          let v = Int64.of_int (i32_at code (o + 1) land 0xffffffff) in
+          fin ~insn:(Some (Insn.Mov_ri (r, v))) ~imm:(o + 1, 4) (o + 5)
+      | 0xC7 ->
+        with_modrm (fun mp ->
+            if mp.next + 4 > limit then opaque1
+            else
+              let imm = i32_at code mp.next in
+              let insn =
+                match (mp.reg land 7, mp.rm_operand) with
+                | 0, Some (Insn.R r) -> Some (Insn.Mov_ri (r, Int64.of_int imm))
+                | _ -> None
+              in
+              fin ~insn ~modrm:mp ~imm:(mp.next, 4) (mp.next + 4))
+      | 0x89 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R dst) -> Some (Insn.Mov_rr (dst, reg_of mp))
+              | Some (Insn.M m) -> Some (Insn.Mov_store (m, reg_of mp))
+              | None -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x8B ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R src) -> Some (Insn.Mov_rr (reg_of mp, src))
+              | Some (Insn.M m) -> Some (Insn.Mov_load (reg_of mp, m))
+              | None -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x01 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R dst) -> Some (Insn.Add_rr (dst, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x03 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R src) -> Some (Insn.Add_rr (reg_of mp, src))
+              | Some (Insn.M m) -> Some (Insn.Add_rm (reg_of mp, m))
+              | None -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x31 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R dst) -> Some (Insn.Xor_rr (dst, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x21 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R dst) -> Some (Insn.And_rr (dst, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x09 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R dst) -> Some (Insn.Or_rr (dst, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x39 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R a) -> Some (Insn.Cmp_rr (a, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x85 ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.R a) -> Some (Insn.Test_rr (a, reg_of mp))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0xC1 ->
+        with_modrm (fun mp ->
+            if mp.next + 1 > limit then opaque1
+            else
+              let imm = u8 code mp.next in
+              let insn =
+                match (mp.reg land 7, mp.rm_operand) with
+                | 4, Some (Insn.R r) -> Some (Insn.Shl_ri (r, imm))
+                | 5, Some (Insn.R r) -> Some (Insn.Shr_ri (r, imm))
+                | _ -> None
+              in
+              fin ~insn ~modrm:mp ~imm:(mp.next, 1) (mp.next + 1))
+      | 0xFF ->
+        with_modrm (fun mp ->
+            let insn =
+              match (mp.reg land 7, mp.rm_operand) with
+              | 0, Some (Insn.R r) -> Some (Insn.Inc r)
+              | 1, Some (Insn.R r) -> Some (Insn.Dec r)
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0xF7 ->
+        with_modrm (fun mp ->
+            let insn =
+              match (mp.reg land 7, mp.rm_operand) with
+              | 3, Some (Insn.R r) -> Some (Insn.Neg r)
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0x81 ->
+        with_modrm (fun mp ->
+            if mp.next + 4 > limit then opaque1
+            else
+              let imm = i32_at code mp.next in
+              let insn =
+                match (mp.reg land 7, mp.rm_operand) with
+                | 0, Some (Insn.R r) -> Some (Insn.Add_ri (r, imm))
+                | 1, Some (Insn.R r) -> Some (Insn.Or_ri (r, imm))
+                | 4, Some (Insn.R r) -> Some (Insn.And_ri (r, imm))
+                | 5, Some (Insn.R r) -> Some (Insn.Sub_ri (r, imm))
+                | 7, Some (Insn.R r) -> Some (Insn.Cmp_ri (r, imm))
+                | _ -> None
+              in
+              fin ~insn ~modrm:mp ~imm:(mp.next, 4) (mp.next + 4))
+      | 0x69 ->
+        with_modrm (fun mp ->
+            if mp.next + 4 > limit then opaque1
+            else
+              let imm = i32_at code mp.next in
+              let insn =
+                Option.map (fun rm -> Insn.Imul_rri (reg_of mp, rm, imm)) mp.rm_operand
+              in
+              fin ~insn ~modrm:mp ~imm:(mp.next, 4) (mp.next + 4))
+      | 0x6B ->
+        with_modrm (fun mp ->
+            if mp.next + 1 > limit then opaque1
+            else
+              let imm = i8_at code mp.next in
+              let insn =
+                Option.map (fun rm -> Insn.Imul_rri (reg_of mp, rm, imm)) mp.rm_operand
+              in
+              fin ~insn ~modrm:mp ~imm:(mp.next, 1) (mp.next + 1))
+      | 0x8D ->
+        with_modrm (fun mp ->
+            let insn =
+              match mp.rm_operand with
+              | Some (Insn.M m) -> Some (Insn.Lea (reg_of mp, m))
+              | _ -> None
+            in
+            fin ~insn ~modrm:mp mp.next)
+      | 0xE8 | 0xE9 ->
+        if o + 5 > limit then opaque1
+        else
+          let rel = i32_at code (o + 1) in
+          let insn =
+            if opc = 0xE8 then Some (Insn.Call_rel rel) else Some (Insn.Jmp_rel rel)
+          in
+          fin ~insn ~imm:(o + 1, 4) (o + 5)
+      | 0xEB ->
+        if o + 2 > limit then opaque1
+        else fin ~insn:(Some (Insn.Jmp_rel (i8_at code (o + 1)))) ~imm:(o + 1, 1) (o + 2)
+      | 0x0F ->
+        if o + 1 >= limit then opaque1
+        else begin
+          let opc2 = u8 code (o + 1) in
+          match opc2 with
+          | 0x05 -> fin ~insn:(Some Insn.Syscall) (o + 2)
+          | 0xA2 -> fin ~insn:(Some Insn.Cpuid) (o + 2)
+          | b when b land 0xF0 = 0x80 -> (
+            (* Jcc rel32 *)
+            match Insn.cond_of_code (b land 0x0F) with
+            | Some c ->
+              if o + 6 > limit then opaque1
+              else begin
+                let rel = i32_at code (o + 2) in
+                let d = fin ~insn:(Some (Insn.Jcc (c, rel))) ~imm:(o + 2, 4) (o + 6) in
+                { d with layout = { d.layout with Encode.opcode_len = 2 } }
+              end
+            | None -> fin ~insn:None (o + 2))
+          | 0x01 ->
+            if o + 2 >= limit then opaque1
+            else if u8 code (o + 2) = 0xD4 then begin
+              let d = fin ~insn:(Some Insn.Vmfunc) (o + 3) in
+              { d with layout = { d.layout with Encode.opcode_len = 3 } }
+            end
+            else begin
+              (* Other 0F 01 group members (SGDT etc.): length via ModRM. *)
+              match parse_modrm code ~limit ~rex (o + 2) with
+              | None -> opaque1
+              | Some mp ->
+                let d = fin ~insn:None ~modrm:mp mp.next in
+                (* ModRM actually sits one byte later than [fin] assumed. *)
+                {
+                  d with
+                  layout =
+                    {
+                      d.layout with
+                      Encode.opcode_len = 2;
+                      modrm_off = Option.map (( + ) 1) d.layout.Encode.modrm_off;
+                    };
+                }
+            end
+          | 0xAF -> (
+            (* imul r64, r/m64 *)
+            match parse_modrm code ~limit ~rex (o + 2) with
+            | None -> opaque1
+            | Some mp ->
+              let insn =
+                Option.map
+                  (fun rm -> Insn.Imul_rm (Reg.of_encoding mp.reg, rm))
+                  mp.rm_operand
+              in
+              let d = fin ~insn ~modrm:mp mp.next in
+              {
+                d with
+                layout =
+                  {
+                    d.layout with
+                    Encode.opcode_len = 2;
+                    modrm_off = Option.map (( + ) 1) d.layout.Encode.modrm_off;
+                  };
+              })
+          | 0x1F -> (
+            (* multi-byte NOP *)
+            match parse_modrm code ~limit ~rex (o + 2) with
+            | None -> opaque1
+            | Some mp -> fin ~insn:(Some Insn.Nop) ~modrm:mp mp.next)
+          | _ -> fin ~insn:None (o + 2)
+        end
+      | _ -> opaque1
+    end
+  end
+
+let decode_all code =
+  let limit = Bytes.length code in
+  let rec go off acc =
+    if off >= limit then List.rev acc
+    else
+      let d = decode_one code off in
+      go (off + d.len) (d :: acc)
+  in
+  go 0 []

@@ -1,0 +1,337 @@
+(** x86-64 instruction encoder.
+
+    Besides the raw bytes, [encode] reports the field layout (offsets of
+    the opcode, ModRM, SIB, displacement and immediate), which is what the
+    VMFUNC rewriter uses to classify *where* inside an instruction an
+    inadvertent [0F 01 D4] sequence falls (Table 3 of the paper). *)
+
+type layout = {
+  len : int;
+  opcode_off : int;
+  opcode_len : int;
+  modrm_off : int option;
+  sib_off : int option;
+  disp_off : int option;
+  disp_len : int;
+  imm_off : int option;
+  imm_len : int;
+}
+
+type encoded = { bytes : string; layout : layout }
+
+let fits_i32 v = v >= -0x8000_0000 && v <= 0x7fff_ffff
+let fits_i8 v = v >= -128 && v <= 127
+
+(* Intermediate representation of the ModRM/SIB/disp cluster. *)
+type modrm_cluster = {
+  rex_r : bool;
+  rex_x : bool;
+  rex_b : bool;
+  modrm : int;
+  sib : int option;
+  disp : (int * int) option; (* value, byte length *)
+}
+
+let cluster_rr ~reg_field ~rm_reg =
+  let r = Reg.encoding reg_field and b = Reg.encoding rm_reg in
+  {
+    rex_r = r >= 8;
+    rex_x = false;
+    rex_b = b >= 8;
+    modrm = 0b11000000 lor ((r land 7) lsl 3) lor (b land 7);
+    sib = None;
+    disp = None;
+  }
+
+let scale_log = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | s -> invalid_arg (Printf.sprintf "Encode: bad scale %d" s)
+
+let cluster_mem ~reg_field (m : Insn.mem) =
+  if not (fits_i32 m.Insn.disp) then invalid_arg "Encode: displacement too large";
+  let r = Reg.encoding reg_field in
+  let rex_r = r >= 8 in
+  let reg3 = (r land 7) lsl 3 in
+  match (m.Insn.base, m.Insn.index) with
+  | None, None ->
+    (* Absolute 32-bit address: ModRM rm=100, SIB base=101 index=none. *)
+    {
+      rex_r;
+      rex_x = false;
+      rex_b = false;
+      modrm = 0b00000100 lor reg3;
+      sib = Some 0x25;
+      disp = Some (m.Insn.disp, 4);
+    }
+  | base, Some (idx, scale) ->
+    if Reg.equal idx Reg.Rsp then invalid_arg "Encode: rsp cannot index";
+    let i = Reg.encoding idx in
+    let sib_hi = (scale_log scale lsl 6) lor ((i land 7) lsl 3) in
+    let base_enc, rex_b, md, disp =
+      match base with
+      | None -> (0b101, false, 0b00, Some (m.Insn.disp, 4))
+      | Some b ->
+        let be = Reg.encoding b in
+        let md, disp =
+          if m.Insn.disp = 0 && be land 7 <> 5 then (0b00, None)
+          else if fits_i8 m.Insn.disp then (0b01, Some (m.Insn.disp, 1))
+          else (0b10, Some (m.Insn.disp, 4))
+        in
+        (be land 7, be >= 8, md, disp)
+    in
+    {
+      rex_r;
+      rex_x = i >= 8;
+      rex_b;
+      modrm = (md lsl 6) lor reg3 lor 0b100;
+      sib = Some (sib_hi lor base_enc);
+      disp;
+    }
+  | Some b, None ->
+    let be = Reg.encoding b in
+    let md, disp =
+      if m.Insn.disp = 0 && be land 7 <> 5 then (0b00, None)
+      else if fits_i8 m.Insn.disp then (0b01, Some (m.Insn.disp, 1))
+      else (0b10, Some (m.Insn.disp, 4))
+    in
+    if be land 7 = 4 then
+      (* RSP/R12 base forces a SIB byte (index = none). *)
+      {
+        rex_r;
+        rex_x = false;
+        rex_b = be >= 8;
+        modrm = (md lsl 6) lor reg3 lor 0b100;
+        sib = Some 0x24;
+        disp;
+      }
+    else
+      {
+        rex_r;
+        rex_x = false;
+        rex_b = be >= 8;
+        modrm = (md lsl 6) lor reg3 lor (be land 7);
+        sib = None;
+        disp;
+      }
+
+let cluster ~reg_field = function
+  | Insn.R r -> cluster_rr ~reg_field ~rm_reg:r
+  | Insn.M m -> cluster_mem ~reg_field m
+
+(* Assemble: optional REX, opcode bytes, optional cluster, optional
+   immediate; compute the layout as we go. *)
+let build ?cluster:(cl = None) ?imm ~rex_w opcode =
+  let buf = Buffer.create 16 in
+  let rex_r, rex_x, rex_b =
+    match cl with
+    | Some c -> (c.rex_r, c.rex_x, c.rex_b)
+    | None -> (false, false, false)
+  in
+  let need_rex = rex_w || rex_r || rex_x || rex_b in
+  if need_rex then
+    Buffer.add_char buf
+      (Char.chr
+         (0x40
+         lor (if rex_w then 8 else 0)
+         lor (if rex_r then 4 else 0)
+         lor (if rex_x then 2 else 0)
+         lor if rex_b then 1 else 0));
+  let opcode_off = Buffer.length buf in
+  List.iter (fun b -> Buffer.add_char buf (Char.chr b)) opcode;
+  let opcode_len = List.length opcode in
+  let modrm_off, sib_off, disp_off, disp_len =
+    match cl with
+    | None -> (None, None, None, 0)
+    | Some c ->
+      let m_off = Buffer.length buf in
+      Buffer.add_char buf (Char.chr c.modrm);
+      let s_off =
+        match c.sib with
+        | None -> None
+        | Some s ->
+          let o = Buffer.length buf in
+          Buffer.add_char buf (Char.chr s);
+          Some o
+      in
+      let d_off, d_len =
+        match c.disp with
+        | None -> (None, 0)
+        | Some (v, len) ->
+          let o = Buffer.length buf in
+          for i = 0 to len - 1 do
+            Buffer.add_char buf (Char.chr ((v asr (8 * i)) land 0xff))
+          done;
+          (Some o, len)
+      in
+      (Some m_off, s_off, d_off, d_len)
+  in
+  let imm_off, imm_len =
+    match imm with
+    | None -> (None, 0)
+    | Some (v, len) ->
+      let o = Buffer.length buf in
+      for i = 0 to len - 1 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+      done;
+      (Some o, len)
+  in
+  let bytes = Buffer.contents buf in
+  {
+    bytes;
+    layout =
+      {
+        len = String.length bytes;
+        opcode_off;
+        opcode_len;
+        modrm_off;
+        sib_off;
+        disp_off;
+        disp_len;
+        imm_off;
+        imm_len;
+      };
+  }
+
+let slash n = Reg.of_encoding n (* opcode-extension pseudo-register *)
+
+(* 50+r / 58+r, with a REX.B prefix for r8..r15. *)
+let encode_push_pop base r =
+  let e = Reg.encoding r in
+  let bytes =
+    if e >= 8 then Printf.sprintf "\x41%c" (Char.chr (base lor (e land 7)))
+    else String.make 1 (Char.chr (base lor e))
+  in
+  let opcode_off = String.length bytes - 1 in
+  {
+    bytes;
+    layout =
+      {
+        len = String.length bytes;
+        opcode_off;
+        opcode_len = 1;
+        modrm_off = None;
+        sib_off = None;
+        disp_off = None;
+        disp_len = 0;
+        imm_off = None;
+        imm_len = 0;
+      };
+  }
+
+let encode insn =
+  match insn with
+  | Insn.Nop -> build ~rex_w:false [ 0x90 ]
+  | Insn.Ret -> build ~rex_w:false [ 0xC3 ]
+  | Insn.Syscall -> build ~rex_w:false [ 0x0F; 0x05 ]
+  | Insn.Vmfunc -> build ~rex_w:false [ 0x0F; 0x01; 0xD4 ]
+  | Insn.Cpuid -> build ~rex_w:false [ 0x0F; 0xA2 ]
+  | Insn.Push r -> encode_push_pop 0x50 r
+  | Insn.Pop r -> encode_push_pop 0x58 r
+  | Insn.Mov_rr (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:src ~rm_reg:dst)) [ 0x89 ]
+  | Insn.Mov_ri (dst, imm) ->
+    if fits_i32 (Int64.to_int imm) && Int64.of_int (Int64.to_int imm) = imm then
+      build ~rex_w:true
+        ~cluster:(Some (cluster_rr ~reg_field:(slash 0) ~rm_reg:dst))
+        ~imm:(imm, 4) [ 0xC7 ]
+    else begin
+      (* B8+r with imm64 (movabs). *)
+      let e = Reg.encoding dst in
+      let rex = 0x48 lor if e >= 8 then 1 else 0 in
+      let buf = Buffer.create 10 in
+      Buffer.add_char buf (Char.chr rex);
+      Buffer.add_char buf (Char.chr (0xB8 lor (e land 7)));
+      for i = 0 to 7 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical imm (8 * i)) land 0xff))
+      done;
+      {
+        bytes = Buffer.contents buf;
+        layout =
+          {
+            len = 10;
+            opcode_off = 1;
+            opcode_len = 1;
+            modrm_off = None;
+            sib_off = None;
+            disp_off = None;
+            disp_len = 0;
+            imm_off = Some 2;
+            imm_len = 8;
+          };
+      }
+    end
+  | Insn.Mov_load (dst, m) ->
+    build ~rex_w:true ~cluster:(Some (cluster_mem ~reg_field:dst m)) [ 0x8B ]
+  | Insn.Mov_store (m, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_mem ~reg_field:src m)) [ 0x89 ]
+  | Insn.Add_rr (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:src ~rm_reg:dst)) [ 0x01 ]
+  | Insn.Add_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 0) ~rm_reg:dst))
+      ~imm:(Int64.of_int imm, 4) [ 0x81 ]
+  | Insn.Sub_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 5) ~rm_reg:dst))
+      ~imm:(Int64.of_int imm, 4) [ 0x81 ]
+  | Insn.Xor_rr (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:src ~rm_reg:dst)) [ 0x31 ]
+  | Insn.And_rr (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:src ~rm_reg:dst)) [ 0x21 ]
+  | Insn.And_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 4) ~rm_reg:dst))
+      ~imm:(Int64.of_int imm, 4) [ 0x81 ]
+  | Insn.Or_rr (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:src ~rm_reg:dst)) [ 0x09 ]
+  | Insn.Or_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 1) ~rm_reg:dst))
+      ~imm:(Int64.of_int imm, 4) [ 0x81 ]
+  | Insn.Cmp_rr (a, b) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:b ~rm_reg:a)) [ 0x39 ]
+  | Insn.Cmp_ri (a, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 7) ~rm_reg:a))
+      ~imm:(Int64.of_int imm, 4) [ 0x81 ]
+  | Insn.Test_rr (a, b) ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:b ~rm_reg:a)) [ 0x85 ]
+  | Insn.Shl_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 4) ~rm_reg:dst))
+      ~imm:(Int64.of_int (imm land 0x3f), 1) [ 0xC1 ]
+  | Insn.Shr_ri (dst, imm) ->
+    build ~rex_w:true
+      ~cluster:(Some (cluster_rr ~reg_field:(slash 5) ~rm_reg:dst))
+      ~imm:(Int64.of_int (imm land 0x3f), 1) [ 0xC1 ]
+  | Insn.Inc dst ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:(slash 0) ~rm_reg:dst)) [ 0xFF ]
+  | Insn.Dec dst ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:(slash 1) ~rm_reg:dst)) [ 0xFF ]
+  | Insn.Neg dst ->
+    build ~rex_w:true ~cluster:(Some (cluster_rr ~reg_field:(slash 3) ~rm_reg:dst)) [ 0xF7 ]
+  | Insn.Jcc (c, rel) ->
+    build ~rex_w:false ~imm:(Int64.of_int rel, 4) [ 0x0F; 0x80 lor Insn.cond_code c ]
+  | Insn.Add_rm (dst, m) ->
+    build ~rex_w:true ~cluster:(Some (cluster_mem ~reg_field:dst m)) [ 0x03 ]
+  | Insn.Imul_rri (dst, src, imm) ->
+    build ~rex_w:true ~cluster:(Some (cluster ~reg_field:dst src))
+      ~imm:(Int64.of_int imm, 4) [ 0x69 ]
+  | Insn.Imul_rm (dst, src) ->
+    build ~rex_w:true ~cluster:(Some (cluster ~reg_field:dst src)) [ 0x0F; 0xAF ]
+  | Insn.Lea (dst, m) ->
+    build ~rex_w:true ~cluster:(Some (cluster_mem ~reg_field:dst m)) [ 0x8D ]
+  | Insn.Jmp_rel rel -> build ~rex_w:false ~imm:(Int64.of_int rel, 4) [ 0xE9 ]
+  | Insn.Call_rel rel -> build ~rex_w:false ~imm:(Int64.of_int rel, 4) [ 0xE8 ]
+
+let length insn = (encode insn).layout.len
+
+let encode_all insns =
+  let buf = Buffer.create 64 in
+  List.iter (fun i -> Buffer.add_string buf (encode i).bytes) insns;
+  Buffer.to_bytes buf

@@ -1,0 +1,189 @@
+(** Instruction AST for the x86-64 subset SkyBridge manipulates.
+
+    Covers everything the trampoline generator emits, everything the
+    synthetic binary corpus contains, and all the shapes in Table 3 of the
+    paper (instructions whose ModRM, SIB, displacement or immediate can
+    encode an inadvertent VMFUNC). All register operations are 64-bit. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;  (** (register, scale in {1,2,4,8}) *)
+  disp : int;  (** signed 32-bit displacement *)
+}
+
+let mem ?base ?index ?(disp = 0) () = { base; index; disp }
+
+(* Condition codes for Jcc (tttn encodings 0F 8x). *)
+type cond = E | Ne | L | Ge | Le | G | B | Ae
+
+let cond_code = function
+  | B -> 0x2
+  | Ae -> 0x3
+  | E -> 0x4
+  | Ne -> 0x5
+  | L -> 0xC
+  | Ge -> 0xD
+  | Le -> 0xE
+  | G -> 0xF
+
+let cond_of_code = function
+  | 0x2 -> Some B
+  | 0x3 -> Some Ae
+  | 0x4 -> Some E
+  | 0x5 -> Some Ne
+  | 0xC -> Some L
+  | 0xD -> Some Ge
+  | 0xE -> Some Le
+  | 0xF -> Some G
+  | _ -> None
+
+let cond_name = function
+  | E -> "e"
+  | Ne -> "ne"
+  | L -> "l"
+  | Ge -> "ge"
+  | Le -> "le"
+  | G -> "g"
+  | B -> "b"
+  | Ae -> "ae"
+
+type t =
+  | Nop
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Mov_rr of Reg.t * Reg.t  (** [Mov_rr (dst, src)] *)
+  | Mov_ri of Reg.t * int64
+  | Mov_load of Reg.t * mem  (** dst <- [mem] *)
+  | Mov_store of mem * Reg.t  (** [mem] <- src *)
+  | Add_rr of Reg.t * Reg.t
+  | Add_ri of Reg.t * int  (** signed 32-bit immediate *)
+  | Add_rm of Reg.t * mem  (** dst <- dst + [mem] *)
+  | Sub_ri of Reg.t * int
+  | Xor_rr of Reg.t * Reg.t
+  | And_rr of Reg.t * Reg.t
+  | And_ri of Reg.t * int
+  | Or_rr of Reg.t * Reg.t
+  | Or_ri of Reg.t * int
+  | Cmp_rr of Reg.t * Reg.t  (** [Cmp_rr (a, b)]: flags from a - b *)
+  | Cmp_ri of Reg.t * int
+  | Test_rr of Reg.t * Reg.t
+  | Shl_ri of Reg.t * int  (** shift by imm8 *)
+  | Shr_ri of Reg.t * int
+  | Inc of Reg.t
+  | Dec of Reg.t
+  | Neg of Reg.t
+  | Jcc of cond * int  (** conditional jump, rel32 *)
+  | Imul_rri of Reg.t * mem_or_reg * int
+      (** [Imul_rri (dst, src, imm)]: dst <- src * imm (69 /r id) *)
+  | Imul_rm of Reg.t * mem_or_reg  (** dst <- dst * src (0F AF /r) *)
+  | Lea of Reg.t * mem
+  | Jmp_rel of int  (** relative to the end of this instruction *)
+  | Call_rel of int
+  | Ret
+  | Syscall
+  | Vmfunc
+  | Cpuid
+
+and mem_or_reg = R of Reg.t | M of mem
+
+let pp_mem fmt m =
+  let base = Option.fold ~none:"" ~some:Reg.name m.base in
+  let index =
+    Option.fold ~none:""
+      ~some:(fun (r, s) -> Printf.sprintf ", %s, %d" (Reg.name r) s)
+      m.index
+  in
+  Format.fprintf fmt "%#x(%s%s)" m.disp base index
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Push r -> Format.fprintf fmt "push %a" Reg.pp r
+  | Pop r -> Format.fprintf fmt "pop %a" Reg.pp r
+  | Mov_rr (d, s) -> Format.fprintf fmt "mov %a, %a" Reg.pp s Reg.pp d
+  | Mov_ri (d, i) -> Format.fprintf fmt "mov $%#Lx, %a" i Reg.pp d
+  | Mov_load (d, m) -> Format.fprintf fmt "mov %a, %a" pp_mem m Reg.pp d
+  | Mov_store (m, s) -> Format.fprintf fmt "mov %a, %a" Reg.pp s pp_mem m
+  | Add_rr (d, s) -> Format.fprintf fmt "add %a, %a" Reg.pp s Reg.pp d
+  | Add_ri (d, i) -> Format.fprintf fmt "add $%#x, %a" i Reg.pp d
+  | Add_rm (d, m) -> Format.fprintf fmt "add %a, %a" pp_mem m Reg.pp d
+  | Sub_ri (d, i) -> Format.fprintf fmt "sub $%#x, %a" i Reg.pp d
+  | Xor_rr (d, s) -> Format.fprintf fmt "xor %a, %a" Reg.pp s Reg.pp d
+  | And_rr (d, s) -> Format.fprintf fmt "and %a, %a" Reg.pp s Reg.pp d
+  | And_ri (d, i) -> Format.fprintf fmt "and $%#x, %a" i Reg.pp d
+  | Or_rr (d, s) -> Format.fprintf fmt "or %a, %a" Reg.pp s Reg.pp d
+  | Or_ri (d, i) -> Format.fprintf fmt "or $%#x, %a" i Reg.pp d
+  | Cmp_rr (a, b) -> Format.fprintf fmt "cmp %a, %a" Reg.pp b Reg.pp a
+  | Cmp_ri (a, i) -> Format.fprintf fmt "cmp $%#x, %a" i Reg.pp a
+  | Test_rr (a, b) -> Format.fprintf fmt "test %a, %a" Reg.pp b Reg.pp a
+  | Shl_ri (d, i) -> Format.fprintf fmt "shl $%d, %a" i Reg.pp d
+  | Shr_ri (d, i) -> Format.fprintf fmt "shr $%d, %a" i Reg.pp d
+  | Inc d -> Format.fprintf fmt "inc %a" Reg.pp d
+  | Dec d -> Format.fprintf fmt "dec %a" Reg.pp d
+  | Neg d -> Format.fprintf fmt "neg %a" Reg.pp d
+  | Jcc (c, r) -> Format.fprintf fmt "j%s .%+d" (cond_name c) r
+  | Imul_rri (d, R s, i) ->
+    Format.fprintf fmt "imul $%#x, %a, %a" i Reg.pp s Reg.pp d
+  | Imul_rri (d, M m, i) ->
+    Format.fprintf fmt "imul $%#x, %a, %a" i pp_mem m Reg.pp d
+  | Imul_rm (d, R s) -> Format.fprintf fmt "imul %a, %a" Reg.pp s Reg.pp d
+  | Imul_rm (d, M m) -> Format.fprintf fmt "imul %a, %a" pp_mem m Reg.pp d
+  | Lea (d, m) -> Format.fprintf fmt "lea %a, %a" pp_mem m Reg.pp d
+  | Jmp_rel r -> Format.fprintf fmt "jmp .%+d" r
+  | Call_rel r -> Format.fprintf fmt "call .%+d" r
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Syscall -> Format.pp_print_string fmt "syscall"
+  | Vmfunc -> Format.pp_print_string fmt "vmfunc"
+  | Cpuid -> Format.pp_print_string fmt "cpuid"
+
+let to_string i = Format.asprintf "%a" pp i
+
+(* Registers an instruction reads or writes, used by the rewriter to pick
+   a safe scratch register. *)
+let regs_of_mem m =
+  Option.to_list m.base @ List.map fst (Option.to_list m.index)
+
+(* Registers an instruction may write (used by the rewriter to decide
+   whether a base register survives the instruction). *)
+let regs_written = function
+  | Nop | Ret | Syscall | Vmfunc | Jmp_rel _ | Mov_store _ | Cmp_rr _ | Cmp_ri _
+  | Test_rr _ | Jcc _ ->
+    []
+  | Cpuid -> [ Reg.Rax; Reg.Rbx; Reg.Rcx; Reg.Rdx ]
+  | Push _ | Call_rel _ -> [ Reg.Rsp ]
+  | Pop r -> [ r; Reg.Rsp ]
+  | Mov_rr (d, _)
+  | Mov_ri (d, _)
+  | Mov_load (d, _)
+  | Add_rr (d, _)
+  | Add_ri (d, _)
+  | Add_rm (d, _)
+  | Sub_ri (d, _)
+  | Xor_rr (d, _)
+  | Imul_rri (d, _, _)
+  | Imul_rm (d, _)
+  | Lea (d, _)
+  | And_rr (d, _)
+  | And_ri (d, _)
+  | Or_rr (d, _)
+  | Or_ri (d, _)
+  | Shl_ri (d, _)
+  | Shr_ri (d, _)
+  | Inc d
+  | Dec d
+  | Neg d ->
+    [ d ]
+
+let regs_used = function
+  | Nop | Ret | Syscall | Vmfunc | Jmp_rel _ | Call_rel _ | Jcc _ -> []
+  | Cpuid -> [ Reg.Rax; Reg.Rbx; Reg.Rcx; Reg.Rdx ]
+  | Push r | Pop r -> [ r; Reg.Rsp ]
+  | Mov_rr (d, s) | Add_rr (d, s) | Xor_rr (d, s) | And_rr (d, s) | Or_rr (d, s)
+  | Cmp_rr (d, s) | Test_rr (d, s) ->
+    [ d; s ]
+  | Mov_ri (d, _) | Add_ri (d, _) | Sub_ri (d, _) | And_ri (d, _) | Or_ri (d, _)
+  | Cmp_ri (d, _) | Shl_ri (d, _) | Shr_ri (d, _) | Inc d | Dec d | Neg d ->
+    [ d ]
+  | Mov_load (d, m) | Add_rm (d, m) | Lea (d, m) -> d :: regs_of_mem m
+  | Mov_store (m, s) -> s :: regs_of_mem m
+  | Imul_rri (d, R s, _) | Imul_rm (d, R s) -> [ d; s ]
+  | Imul_rri (d, M m, _) | Imul_rm (d, M m) -> d :: regs_of_mem m

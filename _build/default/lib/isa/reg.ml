@@ -1,0 +1,80 @@
+(** x86-64 general-purpose registers with their hardware encodings. *)
+
+type t =
+  | Rax
+  | Rcx
+  | Rdx
+  | Rbx
+  | Rsp
+  | Rbp
+  | Rsi
+  | Rdi
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+let encoding = function
+  | Rax -> 0
+  | Rcx -> 1
+  | Rdx -> 2
+  | Rbx -> 3
+  | Rsp -> 4
+  | Rbp -> 5
+  | Rsi -> 6
+  | Rdi -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | R13 -> 13
+  | R14 -> 14
+  | R15 -> 15
+
+let of_encoding = function
+  | 0 -> Rax
+  | 1 -> Rcx
+  | 2 -> Rdx
+  | 3 -> Rbx
+  | 4 -> Rsp
+  | 5 -> Rbp
+  | 6 -> Rsi
+  | 7 -> Rdi
+  | 8 -> R8
+  | 9 -> R9
+  | 10 -> R10
+  | 11 -> R11
+  | 12 -> R12
+  | 13 -> R13
+  | 14 -> R14
+  | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "Reg.of_encoding: %d" n)
+
+let name = function
+  | Rax -> "rax"
+  | Rcx -> "rcx"
+  | Rdx -> "rdx"
+  | Rbx -> "rbx"
+  | Rsp -> "rsp"
+  | Rbp -> "rbp"
+  | Rsi -> "rsi"
+  | Rdi -> "rdi"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "r11"
+  | R12 -> "r12"
+  | R13 -> "r13"
+  | R14 -> "r14"
+  | R15 -> "r15"
+
+let all =
+  [ Rax; Rcx; Rdx; Rbx; Rsp; Rbp; Rsi; Rdi; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+let equal (a : t) b = a = b

@@ -1,0 +1,1 @@
+lib/kernels/costs_table.ml: Sky_sim Sky_ukernel

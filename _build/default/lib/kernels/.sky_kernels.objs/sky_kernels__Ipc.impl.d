@@ -1,0 +1,1 @@
+lib/kernels/ipc.ml: Breakdown Bytes Capability Config Costs Costs_table Cpu Hashtbl Kernel List Memsys Proc Sky_mmu Sky_sim Sky_ukernel

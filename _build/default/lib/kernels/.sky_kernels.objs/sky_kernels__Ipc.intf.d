@@ -1,0 +1,1 @@
+lib/kernels/ipc.mli: Breakdown Sky_ukernel

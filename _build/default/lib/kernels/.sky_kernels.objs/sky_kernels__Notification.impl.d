@@ -1,0 +1,1 @@
+lib/kernels/notification.ml: Cpu Kernel Sky_sim Sky_ukernel

@@ -1,0 +1,1 @@
+lib/kernels/notification.mli: Sky_ukernel

@@ -1,0 +1,1 @@
+lib/kernels/scheduler.ml: List Sky_sim

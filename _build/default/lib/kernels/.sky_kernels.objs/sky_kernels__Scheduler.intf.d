@@ -1,0 +1,1 @@
+lib/kernels/scheduler.mli: Sky_sim

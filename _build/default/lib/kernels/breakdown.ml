@@ -1,0 +1,45 @@
+(** Per-category cycle accounting for an IPC path — the categories of
+    Figure 7: VMFUNC, SYSCALL/SYSRET, context switch, IPI, message copy,
+    schedule, others. *)
+
+type t = {
+  mutable vmfunc : int;
+  mutable syscall : int;
+  mutable ctx : int;
+  mutable ipi : int;
+  mutable copy : int;
+  mutable sched : int;
+  mutable other : int;
+}
+
+let create () =
+  { vmfunc = 0; syscall = 0; ctx = 0; ipi = 0; copy = 0; sched = 0; other = 0 }
+
+let total t = t.vmfunc + t.syscall + t.ctx + t.ipi + t.copy + t.sched + t.other
+
+let add a b =
+  a.vmfunc <- a.vmfunc + b.vmfunc;
+  a.syscall <- a.syscall + b.syscall;
+  a.ctx <- a.ctx + b.ctx;
+  a.ipi <- a.ipi + b.ipi;
+  a.copy <- a.copy + b.copy;
+  a.sched <- a.sched + b.sched;
+  a.other <- a.other + b.other
+
+let scale t n =
+  if n <= 0 then create ()
+  else
+    {
+      vmfunc = t.vmfunc / n;
+      syscall = t.syscall / n;
+      ctx = t.ctx / n;
+      ipi = t.ipi / n;
+      copy = t.copy / n;
+      sched = t.sched / n;
+      other = t.other / n;
+    }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "total %d (vmfunc %d, syscall/sysret %d, ctx %d, ipi %d, copy %d, sched %d, other %d)"
+    (total t) t.vmfunc t.syscall t.ctx t.ipi t.copy t.sched t.other

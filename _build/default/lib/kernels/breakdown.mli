@@ -1,0 +1,24 @@
+(** Per-category cycle accounting for an IPC path — the stacked-bar
+    categories of Figure 7: VMFUNC, SYSCALL/SYSRET, context switch, IPI,
+    message copy, schedule, others. *)
+
+type t = {
+  mutable vmfunc : int;
+  mutable syscall : int;
+  mutable ctx : int;
+  mutable ipi : int;
+  mutable copy : int;
+  mutable sched : int;
+  mutable other : int;
+}
+
+val create : unit -> t
+val total : t -> int
+
+val add : t -> t -> unit
+(** Accumulate [b] into [a]. *)
+
+val scale : t -> int -> t
+(** Per-roundtrip average over [n] calls. *)
+
+val pp : Format.formatter -> t -> unit

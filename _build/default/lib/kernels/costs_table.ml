@@ -1,0 +1,94 @@
+(** Per-kernel IPC path cost model, calibrated against Figure 7.
+
+    The mode-switch and address-space-switch components are the measured
+    hardware constants from {!Sky_sim.Costs}; the entries below are the
+    per-leg *software* costs that differ between the three kernels:
+
+    - seL4's fastpath runs 98 cycles of checks/endpoint/capability logic
+      (§2.1.1); its slowpath enters the scheduler and runs the full IPC
+      path.
+    - Fiasco.OC's fastpath "may handle deferred requests (drq) during
+      IPC, which is the reason why its IPC is relatively slower than
+      seL4's" (§6.3).
+    - "The Zircon microkernel does not have a fastpath IPC, which means
+      it may enter the scheduler when handling IPC. Moreover, the IPC
+      path in Zircon may be preempted by interrupts. The message copying
+      in Zircon is not well optimized, which involves two expensive
+      memory copies for each IPC" (§6.3).
+
+    The footprint sizes control how much kernel text/data each leg pulls
+    through the caches (the Table 1 indirect cost); they do not charge
+    cycles directly. *)
+
+type t = {
+  has_fastpath : bool;
+  fast_logic : int;  (** per-leg software logic on the fast path *)
+  slow_logic : int;  (** per-leg software logic on the slow path *)
+  sched : int;  (** scheduler entry cost when the slow path runs it *)
+  cross_extra : int;  (** extra slow-path work on cross-core legs *)
+  double_copy : bool;  (** Zircon: user->kernel->user message copies *)
+  text_fast : int;  (** kernel text bytes touched per fast leg *)
+  text_slow : int;
+  data_touch : int;  (** kernel data bytes touched per leg *)
+}
+
+let sel4 =
+  {
+    has_fastpath = true;
+    fast_logic = Sky_sim.Costs.sel4_fastpath_logic;
+    slow_logic = 574;
+    sched = 500;
+    cross_extra = 1237;
+    double_copy = false;
+    text_fast = 2048;
+    text_slow = 4096;
+    data_touch = 1024;
+  }
+
+let fiasco =
+  {
+    has_fastpath = true;
+    fast_logic = 963; (* includes drq processing *)
+    slow_logic = 1412;
+    sched = 500;
+    cross_extra = 2075;
+    double_copy = false;
+    text_fast = 4096;
+    text_slow = 12288;
+    data_touch = 1024;
+  }
+
+let zircon =
+  {
+    has_fastpath = false;
+    fast_logic = 0;
+    slow_logic = 2085;
+    sched = 1600;
+    cross_extra = 11961; (* rescheduling + preemption on the remote core *)
+    double_copy = true;
+    text_fast = 0;
+    text_slow = 16384;
+    data_touch = 2048;
+  }
+
+(* A UDS-style socket round trip on Linux is ~10-20us of kernel path:
+   syscalls, sk_buff management, two copies, wakeups and scheduling on
+   both ends. *)
+let linux =
+  {
+    has_fastpath = false;
+    fast_logic = 0;
+    slow_logic = 2600;
+    sched = 1800;
+    cross_extra = 2000;
+    double_copy = true;
+    text_fast = 0;
+    text_slow = 24576;
+    data_touch = 4096;
+  }
+
+let for_variant = function
+  | Sky_ukernel.Config.Sel4 -> sel4
+  | Sky_ukernel.Config.Fiasco -> fiasco
+  | Sky_ukernel.Config.Zircon -> zircon
+  | Sky_ukernel.Config.Linux -> linux

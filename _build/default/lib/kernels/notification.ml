@@ -1,0 +1,70 @@
+open Sky_sim
+open Sky_ukernel
+
+exception Would_block
+
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  mutable word : int;
+  mutable pending : (int * int) list;  (** (virtual time, badge), oldest first *)
+  mutable waiter_core : int option;
+  mutable signals : int;
+  mutable waits : int;
+}
+
+let create kernel ~name =
+  { kernel; name; word = 0; pending = []; waiter_core = None; signals = 0; waits = 0 }
+
+let signal t ~core ~badge =
+  t.signals <- t.signals + 1;
+  Kernel.kernel_entry t.kernel ~core;
+  let cpu = Kernel.cpu t.kernel ~core in
+  Cpu.charge cpu 120 (* signal fastpath: word update + waiter check *);
+  t.word <- t.word lor badge;
+  t.pending <- t.pending @ [ (Cpu.cycles cpu, badge) ];
+  (match t.waiter_core with
+  | Some w when w <> core -> Kernel.send_ipi t.kernel ~from_core:core ~to_core:w
+  | _ -> ());
+  Kernel.kernel_exit t.kernel ~core
+
+let poll t ~core =
+  Kernel.kernel_entry t.kernel ~core;
+  Cpu.charge (Kernel.cpu t.kernel ~core) 80;
+  let r = if t.word = 0 then None else Some t.word in
+  if r <> None then begin
+    t.word <- 0;
+    t.pending <- []
+  end;
+  Kernel.kernel_exit t.kernel ~core;
+  r
+
+let wait t ~core =
+  t.waits <- t.waits + 1;
+  Kernel.kernel_entry t.kernel ~core;
+  let cpu = Kernel.cpu t.kernel ~core in
+  Cpu.charge cpu 150 (* block/unblock bookkeeping *);
+  let deliver () =
+    let w = t.word in
+    t.word <- 0;
+    t.pending <- [];
+    Kernel.kernel_exit t.kernel ~core;
+    w
+  in
+  if t.word <> 0 then begin
+    (* Something already pending: if it was signalled "later" than our
+       current virtual time (a signaler on another core), block until
+       its delivery time. *)
+    (match t.pending with
+    | (at, _) :: _ -> Cpu.advance_to cpu at
+    | [] -> ());
+    deliver ()
+  end
+  else begin
+    t.waiter_core <- Some core;
+    Kernel.kernel_exit t.kernel ~core;
+    raise Would_block
+  end
+
+let signals t = t.signals
+let waits t = t.waits

@@ -1,0 +1,30 @@
+(** Asynchronous notifications (seL4-style), the other half of a modern
+    microkernel's IPC story ("current microkernels usually contain a
+    mixture of both synchronous and asynchronous IPCs", §8.1).
+
+    A notification is a word of badge bits. [signal] ORs bits in and, if
+    a waiter on another core is blocked, kicks it with an IPI. [wait]
+    consumes the word, blocking (in virtual time) until the next signal
+    when it is empty. Signals coalesce — N signals before a wait deliver
+    one word with the union of the badges. *)
+
+type t
+
+val create : Sky_ukernel.Kernel.t -> name:string -> t
+
+val signal : t -> core:int -> badge:int -> unit
+(** Kernel entry + OR the badge in + (when a cross-core waiter is
+    blocked) one IPI. *)
+
+val poll : t -> core:int -> int option
+(** Non-blocking: the accumulated word, or [None] when empty. *)
+
+val wait : t -> core:int -> int
+(** Consume the word; if empty, block until the next pending signal's
+    virtual time.
+    @raise Would_block if nothing is pending at all. *)
+
+exception Would_block
+
+val signals : t -> int
+val waits : t -> int

@@ -1,0 +1,1 @@
+lib/kvstore/kv_server.ml: Bytes Char Sky_mem Sky_sim

@@ -1,0 +1,1 @@
+lib/kvstore/kv_server.mli: Sky_sim

@@ -1,0 +1,1 @@
+lib/kvstore/pipeline.ml: Bytes Char Cpu Kernel Kv_server List Printf Proc Rc4 Rng Sky_core Sky_kernels Sky_mem Sky_mmu Sky_sim Sky_ukernel

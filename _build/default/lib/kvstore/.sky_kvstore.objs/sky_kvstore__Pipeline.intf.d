@@ -1,0 +1,1 @@
+lib/kvstore/pipeline.mli: Sky_core Sky_kernels Sky_ukernel

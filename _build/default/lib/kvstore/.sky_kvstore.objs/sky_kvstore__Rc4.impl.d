@@ -1,0 +1,1 @@
+lib/kvstore/rc4.ml: Array Bytes Char Sky_mem Sky_sim

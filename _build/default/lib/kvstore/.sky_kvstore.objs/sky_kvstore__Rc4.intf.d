@@ -1,0 +1,1 @@
+lib/kvstore/rc4.mli: Sky_sim

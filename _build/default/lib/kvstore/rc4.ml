@@ -1,0 +1,48 @@
+(** RC4 stream cipher — the encryption server's workload.
+
+    Real cipher (so encrypt/decrypt roundtrips are testable), with its
+    microarchitectural footprint modelled: the 256-byte S-box lives in a
+    guest memory region of the encryption server and is streamed through
+    the cache on every message, and the per-byte mixing work is charged
+    as compute. *)
+
+let ksa_cycles = 900
+let cycles_per_byte = 7
+
+type t = {
+  key : bytes;
+  sbox_pa : int;  (** guest frame holding the S-box (footprint only) *)
+}
+
+let create machine ~key =
+  let pa = Sky_mem.Frame_alloc.alloc_frame machine.Sky_sim.Machine.alloc in
+  { key = Bytes.of_string key; sbox_pa = pa }
+
+(* Pure RC4: fresh key schedule per message (stateless server calls). *)
+let crypt_pure key data =
+  let s = Array.init 256 (fun i -> i) in
+  let klen = Bytes.length key in
+  let j = ref 0 in
+  for i = 0 to 255 do
+    j := (!j + s.(i) + Char.code (Bytes.get key (i mod klen))) land 0xff;
+    let tmp = s.(i) in
+    s.(i) <- s.(!j);
+    s.(!j) <- tmp
+  done;
+  let out = Bytes.copy data in
+  let i = ref 0 and j = ref 0 in
+  for n = 0 to Bytes.length data - 1 do
+    i := (!i + 1) land 0xff;
+    j := (!j + s.(!i)) land 0xff;
+    let tmp = s.(!i) in
+    s.(!i) <- s.(!j);
+    s.(!j) <- tmp;
+    let k = s.((s.(!i) + s.(!j)) land 0xff) in
+    Bytes.set out n (Char.chr (Char.code (Bytes.get data n) lxor k))
+  done;
+  out
+
+let crypt t cpu data =
+  Sky_sim.Cpu.charge cpu (ksa_cycles + (cycles_per_byte * Bytes.length data));
+  Sky_sim.Memsys.touch_range cpu Sky_sim.Memsys.Data ~pa:t.sbox_pa ~len:256;
+  crypt_pure t.key data

@@ -1,0 +1,1 @@
+lib/mem/frame_alloc.ml: Bytes Char Phys_mem Printf

@@ -1,0 +1,1 @@
+lib/mem/frame_alloc.mli: Phys_mem

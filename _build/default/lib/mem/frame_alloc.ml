@@ -1,0 +1,73 @@
+exception Out_of_memory
+
+type t = {
+  mem : Phys_mem.t;
+  used : Bytes.t; (* one byte per frame: 0 free, 1 allocated, 2 reserved *)
+  mutable in_use : int;
+  mutable search_hint : int;
+}
+
+let create mem =
+  {
+    mem;
+    used = Bytes.make (Phys_mem.frames mem) '\000';
+    in_use = 0;
+    search_hint = 0;
+  }
+
+let nframes t = Phys_mem.frames t.mem
+let state t f = Char.code (Bytes.get t.used f)
+
+let set_state t f s =
+  let old = state t f in
+  Bytes.set t.used f (Char.chr s);
+  if old = 0 && s <> 0 then t.in_use <- t.in_use + 1
+  else if old <> 0 && s = 0 then t.in_use <- t.in_use - 1
+
+let reserve t ~first_frame ~count =
+  if first_frame < 0 || count < 0 || first_frame + count > nframes t then
+    invalid_arg "Frame_alloc.reserve: range out of bounds";
+  for f = first_frame to first_frame + count - 1 do
+    if state t f <> 0 then
+      invalid_arg (Printf.sprintf "Frame_alloc.reserve: frame %d in use" f)
+  done;
+  for f = first_frame to first_frame + count - 1 do
+    set_state t f 2
+  done
+
+let find_run t count =
+  let n = nframes t in
+  let rec scan start from run =
+    if from >= n then raise Out_of_memory
+    else if state t from = 0 then
+      if run + 1 = count then start else scan start (from + 1) (run + 1)
+    else scan (from + 1) (from + 1) 0
+  in
+  (* Search from the hint, then wrap to the beginning. *)
+  try scan t.search_hint t.search_hint 0 with Out_of_memory -> scan 0 0 0
+
+let alloc_frames t ~count =
+  if count <= 0 then invalid_arg "Frame_alloc.alloc_frames: count <= 0";
+  let start = find_run t count in
+  for f = start to start + count - 1 do
+    set_state t f 1;
+    Phys_mem.zero_frame t.mem f
+  done;
+  t.search_hint <- start + count;
+  Phys_mem.addr_of_frame start
+
+let alloc_frame t = alloc_frames t ~count:1
+
+let free_frames t ~pa ~count =
+  let first = Phys_mem.frame_of_addr pa in
+  for f = first to first + count - 1 do
+    match state t f with
+    | 1 -> set_state t f 0
+    | 0 -> invalid_arg (Printf.sprintf "Frame_alloc: double free of frame %d" f)
+    | _ -> invalid_arg (Printf.sprintf "Frame_alloc: freeing reserved frame %d" f)
+  done;
+  if first < t.search_hint then t.search_hint <- first
+
+let free_frame t pa = free_frames t ~pa ~count:1
+let in_use t = t.in_use
+let available t = nframes t - t.in_use

@@ -1,0 +1,36 @@
+(** Physical frame allocator.
+
+    A simple bitmap allocator over the frames of a {!Phys_mem.t}. The
+    Rootkernel reserves a region for itself at boot; the Subkernel allocates
+    page-table pages, EPT pages, code pages, stacks and buffers from the
+    rest. Supports contiguous multi-frame allocation (needed for 1 GiB-
+    aligned regions and multi-page stacks). *)
+
+type t
+
+exception Out_of_memory
+
+val create : Phys_mem.t -> t
+
+val reserve : t -> first_frame:int -> count:int -> unit
+(** Mark a frame range as permanently unavailable (e.g. Rootkernel
+    memory). Raises [Invalid_argument] if any frame is already in use. *)
+
+val alloc_frame : t -> int
+(** Allocate one frame; returns its base physical address, zeroed.
+    @raise Out_of_memory when exhausted. *)
+
+val alloc_frames : t -> count:int -> int
+(** Allocate [count] physically contiguous frames; returns the base
+    physical address of the first, all zeroed. *)
+
+val free_frame : t -> int -> unit
+(** [free_frame t pa] frees the frame containing [pa]. Double frees raise
+    [Invalid_argument]. *)
+
+val free_frames : t -> pa:int -> count:int -> unit
+
+val in_use : t -> int
+(** Number of frames currently allocated or reserved. *)
+
+val available : t -> int

@@ -1,0 +1,1 @@
+lib/mmu/ept.ml: Hashtbl List Page_table Pte Sky_mem

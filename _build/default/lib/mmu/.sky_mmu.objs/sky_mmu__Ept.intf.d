@@ -1,0 +1,1 @@
+lib/mmu/ept.mli: Sky_mem

@@ -1,0 +1,1 @@
+lib/mmu/page_table.ml: List Pte Sky_mem

@@ -1,0 +1,1 @@
+lib/mmu/pte.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/mmu/translate.ml: Bytes Ept List Page_table Pte Sky_mem Sky_sim Vcpu Vmcs

@@ -1,0 +1,1 @@
+lib/mmu/translate.mli: Ept Page_table Sky_mem Sky_sim Vcpu

@@ -1,0 +1,1 @@
+lib/mmu/vcpu.ml: Sky_sim Vmcs

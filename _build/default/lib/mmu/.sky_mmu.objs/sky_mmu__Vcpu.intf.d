@@ -1,0 +1,1 @@
+lib/mmu/vcpu.mli: Sky_sim Vmcs

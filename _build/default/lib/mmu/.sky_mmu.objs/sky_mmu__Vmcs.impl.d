@@ -1,0 +1,1 @@
+lib/mmu/vmcs.ml: Array List

@@ -1,0 +1,1 @@
+lib/mmu/vmfunc.ml: Sky_sim Vcpu Vmcs

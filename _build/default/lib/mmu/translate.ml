@@ -1,0 +1,137 @@
+exception Page_fault = Page_table.Page_fault
+exception Ept_violation = Ept.Ept_violation
+
+type access = { kind : Sky_sim.Memsys.kind; write : bool }
+
+let data_read = { kind = Sky_sim.Memsys.Data; write = false }
+let data_write = { kind = Sky_sim.Memsys.Data; write = true }
+let fetch = { kind = Sky_sim.Memsys.Insn; write = false }
+
+(* Translate a guest-physical address through the current EPT, charging
+   one cached data access per EPT entry read. Identity when the vCPU is
+   not virtualized. *)
+let ept_translate vcpu mem gpa =
+  match vcpu.Vcpu.vmcs with
+  | None -> gpa
+  | Some vmcs -> (
+    let root_pa = Vmcs.current_eptp vmcs in
+    match Ept.walk ~mem ~root_pa ~gpa with
+    | Ok { Ept.hpa; entries_read } ->
+      List.iter
+        (fun epa -> Sky_sim.Memsys.access (Vcpu.cpu vcpu) Sky_sim.Memsys.Data epa)
+        entries_read;
+      hpa
+    | Error f -> raise (Ept.Ept_violation f))
+
+(* Nested guest walk: each guest table page is located through the EPT,
+   then the entry is read with a cached access. *)
+let guest_walk vcpu mem ~va =
+  let cpu = Vcpu.cpu vcpu in
+  let rec go table_gpa level =
+    let table_hpa = ept_translate vcpu mem table_gpa in
+    let index = Page_table.va_index ~level va in
+    let epa = table_hpa + (index * 8) in
+    Sky_sim.Memsys.access cpu Sky_sim.Memsys.Data epa;
+    let e = Sky_mem.Phys_mem.read_u64 mem epa in
+    if not (Pte.is_present e) then
+      raise (Page_table.Page_fault (Page_table.Not_present va))
+    else
+      let pa, flags = Pte.decode e in
+      if level = 0 then (pa, flags) else go pa (level - 1)
+  in
+  go vcpu.Vcpu.cr3 3
+
+let check_perms vcpu acc ~va (flags : Pte.flags) =
+  let user_mode = vcpu.Vcpu.mode = Vcpu.User in
+  if user_mode && not flags.Pte.user then
+    raise (Page_table.Page_fault (Page_table.Protection va));
+  if acc.write && not flags.Pte.writable then
+    raise (Page_table.Page_fault (Page_table.Protection va));
+  if acc.kind = Sky_sim.Memsys.Insn && flags.Pte.nx then
+    raise (Page_table.Page_fault (Page_table.Protection va))
+
+let translate vcpu mem acc ~va =
+  let cpu = Vcpu.cpu vcpu in
+  let tlb =
+    match acc.kind with
+    | Sky_sim.Memsys.Insn -> Sky_sim.Cpu.itlb cpu
+    | Sky_sim.Memsys.Data -> Sky_sim.Cpu.dtlb cpu
+  in
+  let vpn = va lsr 12 in
+  let asid = Vcpu.asid vcpu in
+  match Sky_sim.Tlb.lookup tlb ~asid ~vpn with
+  | Some entry ->
+    let flags =
+      {
+        Pte.present = true;
+        writable = entry.Sky_sim.Tlb.writable;
+        user = entry.Sky_sim.Tlb.user;
+        huge = false;
+        nx = false;
+      }
+    in
+    check_perms vcpu acc ~va flags;
+    (entry.Sky_sim.Tlb.ppn lsl 12) lor (va land 0xfff)
+  | None ->
+    let page_gpa, flags = guest_walk vcpu mem ~va in
+    check_perms vcpu acc ~va flags;
+    let page_hpa = ept_translate vcpu mem page_gpa in
+    Sky_sim.Tlb.insert tlb ~asid ~vpn
+      {
+        Sky_sim.Tlb.ppn = page_hpa lsr 12;
+        page_shift = 12;
+        writable = flags.Pte.writable;
+        user = flags.Pte.user;
+      };
+    page_hpa lor (va land 0xfff)
+
+let accessed vcpu mem acc ~va =
+  let hpa = translate vcpu mem acc ~va in
+  Sky_sim.Memsys.access (Vcpu.cpu vcpu) acc.kind hpa;
+  hpa
+
+let read_u8 vcpu mem ~va = Sky_mem.Phys_mem.read_u8 mem (accessed vcpu mem data_read ~va)
+
+let write_u8 vcpu mem ~va v =
+  Sky_mem.Phys_mem.write_u8 mem (accessed vcpu mem data_write ~va) v
+
+let read_u64 vcpu mem ~va =
+  Sky_mem.Phys_mem.read_u64 mem (accessed vcpu mem data_read ~va)
+
+let write_u64 vcpu mem ~va v =
+  Sky_mem.Phys_mem.write_u64 mem (accessed vcpu mem data_write ~va) v
+
+(* Iterate a virtual range page by page, giving [f] the HPA and length of
+   each in-page chunk, charging one cached access per 64-byte line. *)
+let iter_range vcpu mem acc ~va ~len f =
+  let cpu = Vcpu.cpu vcpu in
+  let rec go va off remaining =
+    if remaining > 0 then begin
+      let in_page = 4096 - (va land 0xfff) in
+      let n = min remaining in_page in
+      let hpa = translate vcpu mem acc ~va in
+      let line = 64 in
+      let first = hpa / line and last = (hpa + n - 1) / line in
+      for l = first to last do
+        Sky_sim.Memsys.access cpu acc.kind (l * line)
+      done;
+      f ~hpa ~off ~len:n;
+      go (va + n) (off + n) (remaining - n)
+    end
+  in
+  go va 0 len
+
+let read_bytes vcpu mem ~va ~len =
+  let dst = Bytes.create len in
+  iter_range vcpu mem data_read ~va ~len (fun ~hpa ~off ~len ->
+      Sky_mem.Phys_mem.blit_to mem ~src_pa:hpa ~dst ~dst_off:off ~len);
+  dst
+
+let write_bytes vcpu mem ~va src =
+  iter_range vcpu mem data_write ~va ~len:(Bytes.length src)
+    (fun ~hpa ~off ~len ->
+      Sky_mem.Phys_mem.blit_from mem ~src ~src_off:off ~dst_pa:hpa ~len)
+
+let touch vcpu mem acc ~va ~len =
+  if len > 0 then
+    iter_range vcpu mem acc ~va ~len (fun ~hpa:_ ~off:_ ~len:_ -> ())

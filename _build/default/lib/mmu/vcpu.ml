@@ -1,0 +1,56 @@
+(** Virtual CPU: a hardware core plus its architectural translation state.
+
+    Wraps a {!Sky_sim.Cpu} with the registers the MMU cares about (CR3,
+    PCID, CPL) and, once the machine has been self-virtualized by the
+    Rootkernel, a {!Vmcs}. Before virtualization the vCPU runs "on bare
+    metal": guest-physical addresses are host-physical addresses. *)
+
+type mode = User | Kernel
+
+type t = {
+  cpu : Sky_sim.Cpu.t;
+  mutable cr3 : int;  (** guest-physical address of the PML4 *)
+  mutable pcid : int;
+  mutable mode : mode;
+  mutable vmcs : Vmcs.t option;  (** [Some _] once running in non-root mode *)
+  mutable pcid_enabled : bool;
+      (** When false (the default for the baseline microkernels, matching
+          the TLB pollution measured in Table 1), a CR3 write flushes the
+          TLBs. When true, entries are tagged and survive. *)
+}
+
+let create ?(pcid_enabled = false) cpu =
+  { cpu; cr3 = 0; pcid = 0; mode = Kernel; vmcs = None; pcid_enabled }
+
+let cpu t = t.cpu
+let virtualized t = t.vmcs <> None
+
+let vmcs_exn t =
+  match t.vmcs with
+  | Some v -> v
+  | None -> invalid_arg "Vcpu: not virtualized"
+
+let enter_non_root t vmcs = t.vmcs <- Some vmcs
+
+(* The TLB ASID tag: composes PCID with the current EPTP index so that —
+   as with VPID+EPTP tagging on real hardware — neither a PCID-tagged CR3
+   write nor a VMFUNC EPTP switch needs a flush. *)
+let asid t =
+  let eptp_part =
+    match t.vmcs with
+    | Some v when v.Vmcs.vpid_enabled -> (Vmcs.current_index v + 1) lsl 16
+    | _ -> 0
+  in
+  eptp_part lor t.pcid
+
+let write_cr3 t ~cr3 ~pcid =
+  Sky_sim.Cpu.charge t.cpu Sky_sim.Costs.cr3_write;
+  Sky_sim.Pmu.count (Sky_sim.Cpu.pmu t.cpu) Sky_sim.Pmu.Cr3_write;
+  t.cr3 <- cr3;
+  t.pcid <- (if t.pcid_enabled then pcid else 0);
+  if not t.pcid_enabled then begin
+    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.itlb t.cpu);
+    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.dtlb t.cpu)
+  end
+
+let set_mode t m = t.mode <- m

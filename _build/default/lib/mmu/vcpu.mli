@@ -1,0 +1,42 @@
+(** Virtual CPU: a hardware core plus its architectural translation
+    state (CR3, PCID, CPL) and — once the Rootkernel has self-virtualized
+    the machine — a {!Vmcs}.
+
+    Before virtualization the vCPU runs "on bare metal": guest-physical
+    addresses are host-physical addresses and {!Translate} skips the EPT
+    stage. *)
+
+type mode = User | Kernel
+
+type t = {
+  cpu : Sky_sim.Cpu.t;
+  mutable cr3 : int;  (** guest-physical address of the live PML4 *)
+  mutable pcid : int;
+  mutable mode : mode;
+  mutable vmcs : Vmcs.t option;
+  mutable pcid_enabled : bool;
+      (** When false (the default for the baseline microkernels, matching
+          the TLB pollution of Table 1), a CR3 write flushes the TLBs;
+          when true entries are tagged and survive. *)
+}
+
+val create : ?pcid_enabled:bool -> Sky_sim.Cpu.t -> t
+val cpu : t -> Sky_sim.Cpu.t
+val virtualized : t -> bool
+
+val vmcs_exn : t -> Vmcs.t
+(** Raises [Invalid_argument] when not in non-root mode. *)
+
+val enter_non_root : t -> Vmcs.t -> unit
+(** Performed once per core at Rootkernel boot. *)
+
+val asid : t -> int
+(** TLB tag composing PCID with the current EPTP index, so that — as
+    with VPID+PCID on real hardware — neither a tagged CR3 write nor a
+    VMFUNC EPTP switch needs a flush. *)
+
+val write_cr3 : t -> cr3:int -> pcid:int -> unit
+(** Charges {!Sky_sim.Costs.cr3_write}; flushes the TLBs unless PCID is
+    enabled. *)
+
+val set_mode : t -> mode -> unit

@@ -1,0 +1,14 @@
+(** The VMFUNC instruction (EPTP switching, VM function 0).
+
+    Executable from non-root mode at {e any} privilege level — including
+    ring 3, which is the property SkyBridge builds on (§2.2). With VPID
+    enabled it does not flush the TLB and costs 134 cycles (Table 2). *)
+
+exception Invalid_vmfunc of { func : int; index : int }
+(** An invalid function number, an out-of-range index or an empty EPTP
+    slot causes a VM exit (recorded in the VMCS) which the Rootkernel
+    turns into a fault for the offending process. *)
+
+val execute : Vcpu.t -> func:int -> index:int -> unit
+(** Charge the 134 cycles, validate, switch the current EPTP; flush the
+    TLBs iff VPID is disabled. *)

@@ -1,0 +1,1 @@
+lib/rewriter/corpus.ml: Array Buffer Bytes Encode Hashtbl Insn Int64 List Reg Scan Sky_isa Sky_sim

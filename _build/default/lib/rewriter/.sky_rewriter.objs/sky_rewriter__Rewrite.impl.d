@@ -1,0 +1,1 @@
+lib/rewriter/rewrite.ml: Buffer Bytes Decode Encode Insn Int64 List Reg Scan Sky_isa String

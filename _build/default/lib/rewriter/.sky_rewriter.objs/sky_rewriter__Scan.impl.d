@@ -1,0 +1,1 @@
+lib/rewriter/scan.ml: Array Bytes Char Decode Encode Insn List Printf Sky_isa

@@ -1,0 +1,1 @@
+lib/rewriter/scan.mli: Sky_isa

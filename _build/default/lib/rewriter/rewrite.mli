@@ -1,0 +1,57 @@
+(** Dynamic rewriting of illegal VMFUNC instructions (§5).
+
+    When a process registers into SkyBridge, the Subkernel scans all of
+    its code pages and replaces every VMFUNC encoding outside the
+    trampoline with functionally-equivalent instructions, following
+    Table 3 of the paper:
+
+    - C1 (the instruction is VMFUNC): three NOPs in place.
+    - C2 (pattern spans instructions): the spanning instructions move to
+      the rewrite page with a NOP inserted between them.
+    - C3/ModRM and C3/SIB: the fixed base register is substituted with a
+      scratch register saved/restored around the instruction.
+    - C3/displacement: the displacement is partially precomputed into the
+      base register (restored afterwards), or a scratch register when the
+      instruction overwrites its base.
+    - C3/immediate: the instruction is applied twice with two immediates
+      that compose to the original; jump-like instructions move to the
+      rewrite page and get their offset re-encoded.
+
+    Replacement sequences that do not fit in the original span are placed
+    in a {e rewrite page} mapped at virtual address [0x1000] (the
+    deliberately unmapped second page, §5.1); the original span is patched
+    with a jump there and NOP padding, and the snippet ends with a jump
+    back. The rewrite loop re-scans until no pattern remains anywhere
+    outside the allowed (trampoline) ranges — junction-created patterns
+    are thus also eliminated. *)
+
+exception Rewrite_failed of string
+
+type result = {
+  code : bytes;  (** patched copy of the input *)
+  rewrite_page : bytes;  (** snippets; map at {!rewrite_page_va} *)
+  patched : int;  (** occurrences rewritten *)
+  iterations : int;  (** scan-fix rounds until clean *)
+}
+
+val rewrite_page_va : int
+(** 0x1000 — the default; multi-section binaries lay their snippet pages
+    out consecutively from here. *)
+
+val rewrite :
+  ?code_va:int ->
+  ?rewrite_page_va:int ->
+  ?allowed:(int * int) list ->
+  bytes ->
+  result
+(** [rewrite ~code_va ~allowed code] returns patched code and the rewrite
+    page. [allowed] lists [(offset, length)] ranges (relative to the start
+    of [code]) in which VMFUNC is legal — the trampoline page. The input
+    buffer is not modified.
+
+    @raise Rewrite_failed on an occurrence that cannot be rewritten (a
+    pattern inside an instruction the decoder has no semantics for) or if
+    the fixpoint does not converge. *)
+
+val clean : ?allowed:(int * int) list -> bytes -> bool
+(** No VMFUNC pattern outside allowed ranges. *)

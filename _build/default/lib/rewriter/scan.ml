@@ -1,0 +1,87 @@
+open Sky_isa
+
+type field = In_modrm | In_sib | In_disp | In_imm | In_opcode
+
+type case = C1_vmfunc | C2_spanning | C3_embedded of field
+
+type occurrence = { at : int; case : case; span : Decode.decoded list }
+
+let find_pattern code =
+  let n = Bytes.length code in
+  let rec go i acc =
+    if i + 2 >= n then List.rev acc
+    else if
+      Char.code (Bytes.get code i) = 0x0F
+      && Char.code (Bytes.get code (i + 1)) = 0x01
+      && Char.code (Bytes.get code (i + 2)) = 0xD4
+    then go (i + 1) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let count_pattern code = List.length (find_pattern code)
+
+(* Which encoding field does byte [rel] (relative to the instruction
+   start) belong to? *)
+let field_of (l : Encode.layout) rel =
+  let in_span off len = match off with Some o -> rel >= o && rel < o + len | None -> false in
+  if in_span l.Encode.modrm_off 1 then In_modrm
+  else if in_span l.Encode.sib_off 1 then In_sib
+  else if in_span l.Encode.disp_off l.Encode.disp_len then In_disp
+  else if in_span l.Encode.imm_off l.Encode.imm_len then In_imm
+  else In_opcode
+
+let scan code =
+  let hits = find_pattern code in
+  if hits = [] then []
+  else begin
+    let insns = Array.of_list (Decode.decode_all code) in
+    (* Map a byte offset to the index of the covering instruction. *)
+    let covering at =
+      let rec bsearch lo hi =
+        if lo >= hi then lo - 1
+        else
+          let mid = (lo + hi) / 2 in
+          if insns.(mid).Decode.off <= at then bsearch (mid + 1) hi
+          else bsearch lo mid
+      in
+      bsearch 0 (Array.length insns)
+    in
+    List.map
+      (fun at ->
+        let i = covering at in
+        let d = insns.(i) in
+        let ends = d.Decode.off + d.Decode.len in
+        if at + 3 > ends then begin
+          (* Spans into following instruction(s). *)
+          let rec collect j acc =
+            if j >= Array.length insns then List.rev acc
+            else
+              let dj = insns.(j) in
+              if dj.Decode.off < at + 3 then collect (j + 1) (dj :: acc)
+              else List.rev acc
+          in
+          { at; case = C2_spanning; span = collect i [] }
+        end
+        else if d.Decode.insn = Some Insn.Vmfunc then
+          { at; case = C1_vmfunc; span = [ d ] }
+        else
+          {
+            at;
+            case = C3_embedded (field_of d.Decode.layout (at - d.Decode.off));
+            span = [ d ];
+          })
+      hits
+  end
+
+let field_name = function
+  | In_modrm -> "modrm"
+  | In_sib -> "sib"
+  | In_disp -> "disp"
+  | In_imm -> "imm"
+  | In_opcode -> "opcode"
+
+let case_name = function
+  | C1_vmfunc -> "C1(vmfunc)"
+  | C2_spanning -> "C2(spanning)"
+  | C3_embedded f -> Printf.sprintf "C3(%s)" (field_name f)

@@ -1,0 +1,33 @@
+(** Scanning executable bytes for VMFUNC encodings (§5.2).
+
+    A VMFUNC is the byte sequence [0F 01 D4]. It can appear as an actual
+    instruction (C1), spanning the boundary of two or more instructions
+    (C2), or embedded in the ModRM/SIB/displacement/immediate fields of a
+    longer instruction (C3). The scanner decodes from the start of the
+    buffer, bookkeeping instruction boundaries to classify each
+    occurrence. *)
+
+type field = In_modrm | In_sib | In_disp | In_imm | In_opcode
+
+type case =
+  | C1_vmfunc  (** the instruction {e is} VMFUNC *)
+  | C2_spanning  (** the pattern crosses an instruction boundary *)
+  | C3_embedded of field  (** inside one longer instruction *)
+
+type occurrence = {
+  at : int;  (** byte offset of the 0F *)
+  case : case;
+  span : Sky_isa.Decode.decoded list;
+      (** the instruction(s) whose bytes contain the pattern, in order *)
+}
+
+val find_pattern : bytes -> int list
+(** All byte offsets where [0F 01 D4] occurs, boundary-oblivious. *)
+
+val count_pattern : bytes -> int
+
+val scan : bytes -> occurrence list
+(** Classified occurrences, in increasing [at] order. *)
+
+val field_name : field -> string
+val case_name : case -> string

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Cache Cpu Sky_mem

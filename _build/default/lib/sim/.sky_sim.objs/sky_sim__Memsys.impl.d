@@ -1,0 +1,1 @@
+lib/sim/memsys.ml: Cache Costs Cpu

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  index_shift : int;
+  tags : int array; (* sets * ways; -1 = invalid *)
+  stamps : int array; (* LRU timestamps, parallel to [tags] *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  if not (is_pow2 line_bytes) then invalid_arg "Cache.create: line not pow2";
+  if ways <= 0 then invalid_arg "Cache.create: ways <= 0";
+  let lines = size_bytes / line_bytes in
+  if lines * line_bytes <> size_bytes || lines mod ways <> 0 then
+    invalid_arg "Cache.create: geometry does not divide";
+  let sets = lines / ways in
+  if not (is_pow2 sets) then invalid_arg "Cache.create: sets not pow2";
+  {
+    name;
+    sets;
+    ways;
+    line_bytes;
+    index_shift = log2 line_bytes;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.name
+let sets t = t.sets
+let ways t = t.ways
+let line_bytes t = t.line_bytes
+
+let set_and_tag t pa =
+  let line = pa lsr t.index_shift in
+  (line land (t.sets - 1), line lsr (log2 t.sets))
+
+let find t set tag =
+  let base = set * t.ways in
+  let rec go w =
+    if w = t.ways then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let access t pa =
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t pa in
+  match find t set tag with
+  | Some slot ->
+    t.stamps.(slot) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU way (or fill an invalid one). *)
+    let base = set * t.ways in
+    let victim = ref base in
+    for w = 1 to t.ways - 1 do
+      if t.stamps.(base + w) < t.stamps.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock;
+    false
+
+let probe t pa =
+  let set, tag = set_and_tag t pa in
+  find t set tag <> None
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

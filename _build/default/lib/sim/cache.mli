@@ -1,0 +1,31 @@
+(** Set-associative cache with LRU replacement.
+
+    Models one level of the Skylake hierarchy (L1i, L1d, L2, shared L3).
+    Caches are indexed and tagged by physical address, at 64-byte line
+    granularity. Only presence is modelled (no dirty writeback timing):
+    the SkyBridge experiments need miss *counts* and miss *latency*, not a
+    coherence protocol. *)
+
+type t
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+(** Raises [Invalid_argument] unless [size_bytes] is divisible into an
+    integral power-of-two number of sets of [ways] lines. *)
+
+val name : t -> string
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+
+val access : t -> int -> bool
+(** [access t pa] looks the line containing physical address [pa] up,
+    inserting it (evicting the LRU way) on miss. Returns [true] on hit. *)
+
+val probe : t -> int -> bool
+(** Lookup without inserting or updating LRU state. *)
+
+val flush : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,85 @@
+type t = {
+  id : int;
+  mutable tsc : int;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  pmu : Pmu.t;
+}
+
+let create ~id ~l3 =
+  {
+    id;
+    tsc = 0;
+    l1i =
+      Cache.create
+        ~name:(Printf.sprintf "core%d.l1i" id)
+        ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64;
+    l1d =
+      Cache.create
+        ~name:(Printf.sprintf "core%d.l1d" id)
+        ~size_bytes:(32 * 1024) ~ways:8 ~line_bytes:64;
+    l2 =
+      Cache.create
+        ~name:(Printf.sprintf "core%d.l2" id)
+        ~size_bytes:(256 * 1024) ~ways:4 ~line_bytes:64;
+    l3;
+    itlb = Tlb.create ~name:(Printf.sprintf "core%d.itlb" id) ~entries:128 ~ways:8;
+    dtlb = Tlb.create ~name:(Printf.sprintf "core%d.dtlb" id) ~entries:64 ~ways:4;
+    pmu = Pmu.create ();
+  }
+
+let id t = t.id
+let cycles t = t.tsc
+
+let charge t c =
+  assert (c >= 0);
+  t.tsc <- t.tsc + c
+
+let advance_to t c = if c > t.tsc then t.tsc <- c
+let l1i t = t.l1i
+let l1d t = t.l1d
+let l2 t = t.l2
+let l3 t = t.l3
+let itlb t = t.itlb
+let dtlb t = t.dtlb
+let pmu t = t.pmu
+
+type footprint = {
+  l1i_miss : int;
+  l1d_miss : int;
+  l2_miss : int;
+  l3_miss : int;
+  itlb_miss : int;
+  dtlb_miss : int;
+}
+
+let footprint t =
+  {
+    l1i_miss = Cache.misses t.l1i;
+    l1d_miss = Cache.misses t.l1d;
+    l2_miss = Cache.misses t.l2;
+    l3_miss = Cache.misses t.l3;
+    itlb_miss = Tlb.misses t.itlb;
+    dtlb_miss = Tlb.misses t.dtlb;
+  }
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2;
+  Cache.reset_stats t.l3;
+  Tlb.reset_stats t.itlb;
+  Tlb.reset_stats t.dtlb;
+  Pmu.reset t.pmu
+
+let flush_all t =
+  Cache.flush t.l1i;
+  Cache.flush t.l1d;
+  Cache.flush t.l2;
+  Cache.flush t.l3;
+  Tlb.flush_all t.itlb;
+  Tlb.flush_all t.dtlb

@@ -1,0 +1,49 @@
+(** One simulated CPU core.
+
+    Holds the purely architectural per-core state: the cycle counter (TSC),
+    private L1i/L1d/L2 caches, instruction and data TLBs and the PMU. The
+    MMU layer wraps this with virtualization state (CR3, VMCS); the kernel
+    layer adds scheduling state. The shared L3 lives in {!Machine}. *)
+
+type t
+
+val create : id:int -> l3:Cache.t -> t
+(** Creates a core with Skylake-like private structures:
+    L1i 32 KiB/8-way, L1d 32 KiB/8-way, L2 256 KiB/4-way,
+    iTLB 128 entries/8-way, dTLB 64 entries/4-way. *)
+
+val id : t -> int
+val cycles : t -> int
+
+val charge : t -> int -> unit
+(** Advance this core's cycle counter. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t c] sets the counter to [max (cycles t) c] — used when a
+    core blocks on a resource another core releases at time [c]. *)
+
+val l1i : t -> Cache.t
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val l3 : t -> Cache.t
+val itlb : t -> Tlb.t
+val dtlb : t -> Tlb.t
+val pmu : t -> Pmu.t
+
+type footprint = {
+  l1i_miss : int;
+  l1d_miss : int;
+  l2_miss : int;
+  l3_miss : int;
+  itlb_miss : int;
+  dtlb_miss : int;
+}
+(** Snapshot of the Table-1 counters. *)
+
+val footprint : t -> footprint
+val reset_stats : t -> unit
+(** Reset counters (not contents — pollution state survives, as on real
+    hardware when you reprogram the PMU). *)
+
+val flush_all : t -> unit
+(** Invalidate all private caches and TLBs (power-on state). *)

@@ -1,0 +1,31 @@
+type t = {
+  mem : Sky_mem.Phys_mem.t;
+  alloc : Sky_mem.Frame_alloc.t;
+  cores : Cpu.t array;
+  l3 : Cache.t;
+}
+
+let create ?(cores = 8) ?(mem_mib = 256) () =
+  if cores <= 0 then invalid_arg "Machine.create: cores <= 0";
+  let mem =
+    Sky_mem.Phys_mem.create ~frames:(mem_mib * 1024 * 1024 / Sky_mem.Phys_mem.frame_size)
+  in
+  let l3 =
+    Cache.create ~name:"l3" ~size_bytes:(8 * 1024 * 1024) ~ways:16 ~line_bytes:64
+  in
+  {
+    mem;
+    alloc = Sky_mem.Frame_alloc.create mem;
+    cores = Array.init cores (fun id -> Cpu.create ~id ~l3);
+    l3;
+  }
+
+let core t i = t.cores.(i)
+let n_cores t = Array.length t.cores
+
+let max_cycles t =
+  Array.fold_left (fun acc c -> max acc (Cpu.cycles c)) 0 t.cores
+
+let sync_cores t =
+  let m = max_cycles t in
+  Array.iter (fun c -> Cpu.advance_to c m) t.cores

@@ -1,0 +1,28 @@
+(** The simulated machine: physical memory, frame allocator, cores and the
+    shared L3 cache.
+
+    Mirrors the paper's evaluation box (§6.1): an Intel Skylake i7-6700K
+    with 4 cores / 8 hardware threads and 16 GiB of RAM — scaled down by
+    default to keep the simulation light, but configurable. *)
+
+type t = {
+  mem : Sky_mem.Phys_mem.t;
+  alloc : Sky_mem.Frame_alloc.t;
+  cores : Cpu.t array;
+  l3 : Cache.t;
+}
+
+val create : ?cores:int -> ?mem_mib:int -> unit -> t
+(** Defaults: 8 logical cores (hyper-threading on, as in the paper),
+    256 MiB of simulated physical memory. *)
+
+val core : t -> int -> Cpu.t
+val n_cores : t -> int
+
+val max_cycles : t -> int
+(** The wall clock of the machine: the furthest-ahead core. Used to turn a
+    multi-core run into elapsed time. *)
+
+val sync_cores : t -> unit
+(** Advance every core to [max_cycles] — a barrier, used between
+    experiment phases. *)

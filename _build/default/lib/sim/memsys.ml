@@ -1,0 +1,33 @@
+type kind = Insn | Data
+
+let access cpu kind pa =
+  let l1 = match kind with Insn -> Cpu.l1i cpu | Data -> Cpu.l1d cpu in
+  if Cache.access l1 pa then Cpu.charge cpu Costs.lat_l1
+  else if Cache.access (Cpu.l2 cpu) pa then Cpu.charge cpu Costs.lat_l2
+  else if Cache.access (Cpu.l3 cpu) pa then Cpu.charge cpu Costs.lat_l3
+  else Cpu.charge cpu Costs.lat_dram
+
+let access_state_only cpu kind pa =
+  let l1 = match kind with Insn -> Cpu.l1i cpu | Data -> Cpu.l1d cpu in
+  if not (Cache.access l1 pa) then
+    if not (Cache.access (Cpu.l2 cpu) pa) then ignore (Cache.access (Cpu.l3 cpu) pa)
+
+let touch_range_state_only cpu kind ~pa ~len =
+  if len > 0 then begin
+    let line = 64 in
+    let first = pa / line and last = (pa + len - 1) / line in
+    for l = first to last do
+      access_state_only cpu kind (l * line)
+    done
+  end
+
+let access_uncached cpu = Cpu.charge cpu Costs.lat_dram
+
+let touch_range cpu kind ~pa ~len =
+  if len > 0 then begin
+    let line = 64 in
+    let first = pa / line and last = (pa + len - 1) / line in
+    for l = first to last do
+      access cpu kind (l * line)
+    done
+  end

@@ -1,0 +1,44 @@
+(** Performance monitoring unit: per-core event counters.
+
+    These are the counters read for Table 1 ("the pollution of processor
+    structures") plus counters the harness uses (IPIs, VM exits, IPC
+    counts). Cache and TLB miss counters are derived from {!Cache} /
+    {!Tlb} statistics by {!Cpu.footprint}; this module holds the events
+    that are not attached to a particular structure. *)
+
+type event =
+  | Ipi_sent
+  | Vm_exit
+  | Vmfunc_exec
+  | Syscall_exec
+  | Cr3_write
+  | Ipc_roundtrip
+  | Instruction
+
+let n_events = 7
+
+let index = function
+  | Ipi_sent -> 0
+  | Vm_exit -> 1
+  | Vmfunc_exec -> 2
+  | Syscall_exec -> 3
+  | Cr3_write -> 4
+  | Ipc_roundtrip -> 5
+  | Instruction -> 6
+
+let name = function
+  | Ipi_sent -> "ipi_sent"
+  | Vm_exit -> "vm_exit"
+  | Vmfunc_exec -> "vmfunc"
+  | Syscall_exec -> "syscall"
+  | Cr3_write -> "cr3_write"
+  | Ipc_roundtrip -> "ipc_roundtrip"
+  | Instruction -> "instruction"
+
+type t = { counts : int array }
+
+let create () = { counts = Array.make n_events 0 }
+let count t ev = t.counts.(index ev) <- t.counts.(index ev) + 1
+let add t ev n = t.counts.(index ev) <- t.counts.(index ev) + n
+let read t ev = t.counts.(index ev)
+let reset t = Array.fill t.counts 0 n_events 0

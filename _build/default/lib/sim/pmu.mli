@@ -1,0 +1,24 @@
+(** Performance monitoring unit: per-core event counters.
+
+    Holds events that are not tied to a particular cache/TLB structure
+    (those derive their counters from {!Cache}/{!Tlb} statistics via
+    {!Cpu.footprint}): IPIs, VM exits, VMFUNC and SYSCALL executions, CR3
+    writes, IPC round trips. *)
+
+type event =
+  | Ipi_sent
+  | Vm_exit
+  | Vmfunc_exec
+  | Syscall_exec
+  | Cr3_write
+  | Ipc_roundtrip
+  | Instruction
+
+type t
+
+val create : unit -> t
+val count : t -> event -> unit
+val add : t -> event -> int -> unit
+val read : t -> event -> int
+val reset : t -> unit
+val name : event -> string

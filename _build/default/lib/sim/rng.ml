@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomness in the simulator (calling keys, workload key choice,
+    synthetic binary corpus) flows through explicitly seeded generators so
+    every experiment is reproducible run-to-run. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next t = Int64.to_int (next_int64 t) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  next t mod bound
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  float_of_int (next t land ((1 lsl 53) - 1)) /. float_of_int (1 lsl 53)
+
+let bool t = next t land 1 = 1
+
+let bytes t len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  b
+
+let split t = create ~seed:(next t)

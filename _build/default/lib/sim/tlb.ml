@@ -1,0 +1,96 @@
+type entry = { ppn : int; page_shift : int; writable : bool; user : bool }
+
+type slot = {
+  mutable valid : bool;
+  mutable asid : int;
+  mutable vpn : int;
+  mutable stamp : int;
+  mutable entry : entry;
+}
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  slots : slot array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let dummy_entry = { ppn = 0; page_shift = 12; writable = false; user = false }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~name ~entries ~ways =
+  if ways <= 0 || entries mod ways <> 0 then
+    invalid_arg "Tlb.create: geometry does not divide";
+  let sets = entries / ways in
+  if not (is_pow2 sets) then invalid_arg "Tlb.create: sets not pow2";
+  let slots =
+    Array.init entries (fun _ ->
+        { valid = false; asid = 0; vpn = 0; stamp = 0; entry = dummy_entry })
+  in
+  { name; sets; ways; slots; clock = 0; hits = 0; misses = 0 }
+
+let name t = t.name
+let capacity t = Array.length t.slots
+let set_of t vpn = vpn land (t.sets - 1)
+
+let find t ~asid ~vpn =
+  let base = set_of t vpn * t.ways in
+  let rec go w =
+    if w = t.ways then None
+    else
+      let s = t.slots.(base + w) in
+      if s.valid && s.asid = asid && s.vpn = vpn then Some s else go (w + 1)
+  in
+  go 0
+
+let lookup t ~asid ~vpn =
+  t.clock <- t.clock + 1;
+  match find t ~asid ~vpn with
+  | Some s ->
+    s.stamp <- t.clock;
+    t.hits <- t.hits + 1;
+    Some s.entry
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert t ~asid ~vpn entry =
+  t.clock <- t.clock + 1;
+  match find t ~asid ~vpn with
+  | Some s ->
+    s.entry <- entry;
+    s.stamp <- t.clock
+  | None ->
+    (* Prefer an invalid slot, otherwise evict the LRU way. *)
+    let base = set_of t vpn * t.ways in
+    let victim = ref t.slots.(base) in
+    for w = 1 to t.ways - 1 do
+      let s = t.slots.(base + w) in
+      let v = !victim in
+      if v.valid && ((not s.valid) || s.stamp < v.stamp) then victim := s
+    done;
+    let s = !victim in
+    s.valid <- true;
+    s.asid <- asid;
+    s.vpn <- vpn;
+    s.entry <- entry;
+    s.stamp <- t.clock
+
+let flush_all t = Array.iter (fun s -> s.valid <- false) t.slots
+
+let flush_asid t ~asid =
+  Array.iter (fun s -> if s.asid = asid then s.valid <- false) t.slots
+
+let flush_page t ~asid ~vpn =
+  match find t ~asid ~vpn with Some s -> s.valid <- false | None -> ()
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

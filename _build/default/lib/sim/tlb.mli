@@ -1,0 +1,38 @@
+(** Translation look-aside buffer.
+
+    Set-associative, LRU, keyed by virtual page number and an address-space
+    identifier. The ASID is an opaque tag composed by the MMU layer from
+    (VPID, PCID, EPTP index) so that, as on real hardware with VPID+PCID
+    enabled, neither CR3 writes nor VMFUNC EPTP switches need flush the
+    TLB — stale entries are simply never matched. *)
+
+type t
+
+type entry = {
+  ppn : int;  (** physical page number the VPN maps to *)
+  page_shift : int;  (** 12 for 4 KiB, 21 for 2 MiB, 30 for 1 GiB *)
+  writable : bool;
+  user : bool;
+}
+
+val create : name:string -> entries:int -> ways:int -> t
+
+val name : t -> string
+val capacity : t -> int
+
+val lookup : t -> asid:int -> vpn:int -> entry option
+(** Hit updates LRU state and the hit counter; miss counts a miss. *)
+
+val insert : t -> asid:int -> vpn:int -> entry -> unit
+
+val flush_all : t -> unit
+
+val flush_asid : t -> asid:int -> unit
+(** Invalidate every entry tagged [asid] (INVPCID-style). *)
+
+val flush_page : t -> asid:int -> vpn:int -> unit
+(** INVLPG-style single-entry invalidation. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

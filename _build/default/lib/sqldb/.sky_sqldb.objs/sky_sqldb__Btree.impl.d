@@ -1,0 +1,1 @@
+lib/sqldb/btree.ml: Array Bytes Char Int32 List Pager Printf

@@ -1,0 +1,1 @@
+lib/sqldb/db.ml: Btree Bytes Fun Int32 Pager Printf Sky_ukernel Sky_xv6fs

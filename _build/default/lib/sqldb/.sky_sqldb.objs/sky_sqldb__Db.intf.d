@@ -1,0 +1,1 @@
+lib/sqldb/db.mli: Btree Pager Sky_ukernel Sky_xv6fs

@@ -1,0 +1,1 @@
+lib/sqldb/pager.ml: Array Bytes Hashtbl Sky_blockdev Sky_mem Sky_sim Sky_ukernel Sky_xv6fs

@@ -1,0 +1,1 @@
+lib/sqldb/pager.mli: Sky_ukernel Sky_xv6fs

@@ -1,0 +1,1 @@
+lib/sqldb/sql.ml: Buffer Bytes Db List Printf String

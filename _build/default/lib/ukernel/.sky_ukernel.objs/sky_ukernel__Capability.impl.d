@@ -1,0 +1,1 @@
+lib/ukernel/capability.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ukernel/capability.mli:

@@ -1,0 +1,1 @@
+lib/ukernel/kernel.ml: Array Bytes Config Costs Cpu Frame_alloc Int64 Layout List Machine Memsys Page_table Phys_mem Pmu Printf Proc Pte Sky_isa Sky_mem Sky_mmu Sky_sim Vcpu

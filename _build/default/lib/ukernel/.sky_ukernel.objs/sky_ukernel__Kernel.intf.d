@@ -1,0 +1,1 @@
+lib/ukernel/kernel.mli: Config Proc Sky_isa Sky_mem Sky_mmu Sky_sim

@@ -1,0 +1,1 @@
+lib/ukernel/lock.ml: Array Fun List Sky_sim

@@ -1,0 +1,1 @@
+lib/ukernel/lock.mli: Sky_sim

@@ -1,0 +1,1 @@
+lib/ukernel/proc.ml: Layout Sky_mmu

@@ -1,0 +1,1 @@
+lib/ukernel/proc.mli: Sky_mmu

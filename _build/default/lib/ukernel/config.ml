@@ -1,0 +1,33 @@
+(** Kernel configuration knobs used across experiments. *)
+
+type variant =
+  | Sel4
+  | Fiasco
+  | Zircon
+  | Linux
+      (** A monolithic-kernel personality — the paper's first future-work
+          direction (SS10): "extend the design of SkyBridge to monolithic
+          kernels like Linux to boost applications that communicate
+          through Linux IPC facilities". Its "IPC" models a UNIX domain
+          socket round trip: no fastpath, double copy, scheduler on both
+          sides. *)
+
+let variant_name = function
+  | Sel4 -> "seL4"
+  | Fiasco -> "Fiasco.OC"
+  | Zircon -> "Zircon"
+  | Linux -> "Linux"
+
+type t = {
+  variant : variant;
+  kpti : bool;
+      (** Meltdown mitigation: separate kernel/user page tables; doubles
+          the address-space switches on the IPC path (§2.1.1). The
+          paper's headline numbers are measured with KPTI off. *)
+  pcid : bool;
+      (** Tag TLB entries with the process-context ID instead of flushing
+          on CR3 writes. Off by default, matching the TLB pollution the
+          paper measures in Table 1. *)
+}
+
+let default variant = { variant; kpti = false; pcid = false }

@@ -1,0 +1,1 @@
+lib/xv6fs/bcache.ml: Array Bytes Hashtbl Sky_blockdev Sky_mem Sky_sim

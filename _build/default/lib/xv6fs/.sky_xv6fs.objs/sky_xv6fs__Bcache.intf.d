@@ -1,0 +1,1 @@
+lib/xv6fs/bcache.mli: Sky_sim

@@ -1,0 +1,1 @@
+lib/xv6fs/fs.ml: Array Bcache Bytes Char Int32 List Log Printf Sky_blockdev Sky_ukernel String Superblock

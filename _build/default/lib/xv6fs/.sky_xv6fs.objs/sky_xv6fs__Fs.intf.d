@@ -1,0 +1,1 @@
+lib/xv6fs/fs.mli: Sky_blockdev Sky_ukernel Superblock

@@ -1,0 +1,1 @@
+lib/xv6fs/fs_iface.ml: Bytes Char Fs Int32 Printf Sky_kernels String

@@ -1,0 +1,1 @@
+lib/xv6fs/fsck.ml: Array Bytes Char Fs Hashtbl Int32 List Printf String Superblock

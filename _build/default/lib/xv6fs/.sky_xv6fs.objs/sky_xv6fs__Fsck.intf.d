@@ -1,0 +1,1 @@
+lib/xv6fs/fsck.mli: Fs

@@ -1,0 +1,1 @@
+lib/xv6fs/log.ml: Bcache Bytes Hashtbl Int32 List Sky_blockdev Superblock

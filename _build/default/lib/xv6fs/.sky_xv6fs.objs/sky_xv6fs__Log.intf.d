@@ -1,0 +1,1 @@
+lib/xv6fs/log.mli: Bcache Sky_blockdev Sky_sim Superblock

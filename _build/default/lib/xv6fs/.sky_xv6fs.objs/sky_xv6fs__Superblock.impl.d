@@ -1,0 +1,1 @@
+lib/xv6fs/superblock.ml: Bytes Int32 Sky_blockdev

@@ -1,0 +1,22 @@
+(** File-system consistency checker.
+
+    Walks the on-disk structures the way a recovery tool would and
+    cross-checks them: the block bitmap must agree exactly with the set
+    of blocks reachable from live inodes, no block may be referenced
+    twice, every directory entry must point at a live inode, and inode
+    sizes must fit their block counts. Run after crash-recovery in the
+    property tests: the log must never let an inconsistent image reach
+    the disk. *)
+
+type problem =
+  | Leaked_block of int  (** marked used in the bitmap, reachable nowhere *)
+  | Unmarked_block of int * int  (** (block, inum): reachable but marked free *)
+  | Double_use of int * int * int  (** block claimed by two inodes *)
+  | Dangling_dirent of string * int  (** name -> free/invalid inode *)
+  | Bad_size of int  (** inode whose size exceeds its mapped blocks *)
+
+val problem_to_string : problem -> string
+
+val check : Fs.t -> core:int -> problem list
+(** Empty list = consistent. Takes the FS big lock; must not be called
+    from inside a transaction. *)

@@ -1,0 +1,64 @@
+(** On-disk superblock (block 1) of the xv6-style log file system. *)
+
+let magic = 0x10203040
+let bsize = Sky_blockdev.Ramdisk.block_size
+
+type t = {
+  size : int;  (** total blocks *)
+  nblocks : int;  (** data blocks *)
+  ninodes : int;
+  nlog : int;
+  logstart : int;
+  inodestart : int;
+  bmapstart : int;
+}
+
+exception Bad_superblock of string
+
+(* Derived layout: | boot | super | log... | inodes... | bitmap... | data |. *)
+let layout ~size ~ninodes ~nlog =
+  let inodes_per_block = bsize / 64 in
+  let ninodeblocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  let nbitmap = (size / (bsize * 8)) + 1 in
+  let logstart = 2 in
+  let inodestart = logstart + nlog in
+  let bmapstart = inodestart + ninodeblocks in
+  let nmeta = bmapstart + nbitmap in
+  if nmeta >= size then raise (Bad_superblock "metadata does not fit");
+  {
+    size;
+    nblocks = size - nmeta;
+    ninodes;
+    nlog;
+    logstart;
+    inodestart;
+    bmapstart;
+  }
+
+let data_start t = t.size - t.nblocks
+
+let encode t =
+  let b = Bytes.make bsize '\000' in
+  let w i v = Bytes.set_int32_le b (i * 4) (Int32.of_int v) in
+  w 0 magic;
+  w 1 t.size;
+  w 2 t.nblocks;
+  w 3 t.ninodes;
+  w 4 t.nlog;
+  w 5 t.logstart;
+  w 6 t.inodestart;
+  w 7 t.bmapstart;
+  b
+
+let decode b =
+  let r i = Int32.to_int (Bytes.get_int32_le b (i * 4)) in
+  if r 0 <> magic then raise (Bad_superblock "bad magic");
+  {
+    size = r 1;
+    nblocks = r 2;
+    ninodes = r 3;
+    nlog = r 4;
+    logstart = r 5;
+    inodestart = r 6;
+    bmapstart = r 7;
+  }

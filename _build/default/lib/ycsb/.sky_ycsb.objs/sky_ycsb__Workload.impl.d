@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Array Sky_sim Sky_sqldb Sky_ukernel Zipf

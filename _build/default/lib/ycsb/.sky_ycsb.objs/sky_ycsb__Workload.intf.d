@@ -1,0 +1,1 @@
+lib/ycsb/workload.mli: Sky_sqldb Sky_ukernel

@@ -1,0 +1,1 @@
+lib/ycsb/zipf.mli: Sky_sim

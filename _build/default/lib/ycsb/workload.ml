@@ -1,0 +1,74 @@
+(** YCSB workloads against the SQLite-like database.
+
+    Workload A is what the paper reports (Figures 9–11): 50% read
+    (query) / 50% write (update), Zipfian key choice, on a table of
+    10,000 records. The multi-threaded runner places one client thread
+    per core; threads share the database handle (same process) and
+    contend on the file system's big lock, which is what shapes the
+    paper's scalability curves. *)
+
+type kind = A | B | C
+
+let kind_name = function A -> "YCSB-A" | B -> "YCSB-B" | C -> "YCSB-C"
+
+(* Read fraction per workload: A = 50%, B = 95%, C = 100%. *)
+let read_fraction = function A -> 0.5 | B -> 0.95 | C -> 1.0
+
+type t = {
+  db : Sky_sqldb.Db.t;
+  kernel : Sky_ukernel.Kernel.t;
+  records : int;
+  value_size : int;
+  rng : Sky_sim.Rng.t;
+}
+
+let create kernel db ~records ~value_size =
+  { db; kernel; records; value_size; rng = Sky_sim.Rng.create ~seed:0x9c5b }
+
+(* Load phase: populate the table (not measured). *)
+let load t ~core =
+  for key = 0 to t.records - 1 do
+    Sky_sqldb.Db.insert t.db ~core ~key ~value:(Sky_sim.Rng.bytes t.rng t.value_size)
+  done
+
+let one_op t zipf ~core ~read =
+  let key = Zipf.next zipf in
+  if read then ignore (Sky_sqldb.Db.query t.db ~core ~key)
+  else Sky_sqldb.Db.update t.db ~core ~key ~value:(Sky_sim.Rng.bytes t.rng t.value_size)
+  |> ignore
+
+(* Run [ops_per_thread] on each of [threads] client threads (thread i on
+   core i), interleaving in virtual time. Returns throughput in ops/s
+   at the simulated clock. *)
+let run t ~kind ~threads ~ops_per_thread =
+  let machine = t.kernel.Sky_ukernel.Kernel.machine in
+  let n_cores = Sky_sim.Machine.n_cores machine in
+  if threads > n_cores then invalid_arg "Workload.run: more threads than cores";
+  (* All threads start together: align every core's virtual clock (the
+     load phase ran on core 0 only). *)
+  Sky_sim.Machine.sync_cores machine;
+  let zipfs =
+    Array.init threads (fun i ->
+        Zipf.create ~items:t.records (Sky_sim.Rng.create ~seed:(0x2170 + i)))
+  in
+  let rngs = Array.init threads (fun i -> Sky_sim.Rng.create ~seed:(0xabc + i)) in
+  let start = Array.init threads (fun i -> Sky_sim.Cpu.cycles (Sky_sim.Machine.core machine i)) in
+  let rf = read_fraction kind in
+  (* Round-robin interleaving approximates concurrent execution: each
+     thread's core clock advances independently; the FS big lock imposes
+     the real serialization. *)
+  for _round = 1 to ops_per_thread do
+    for i = 0 to threads - 1 do
+      let read = Sky_sim.Rng.float rngs.(i) < rf in
+      one_op t zipfs.(i) ~core:i ~read
+    done
+  done;
+  let elapsed =
+    let m = ref 0 in
+    for i = 0 to threads - 1 do
+      m := max !m (Sky_sim.Cpu.cycles (Sky_sim.Machine.core machine i) - start.(i))
+    done;
+    !m
+  in
+  let total_ops = threads * ops_per_thread in
+  Sky_sim.Costs.ops_per_sec ~ops:total_ops ~cycles:elapsed

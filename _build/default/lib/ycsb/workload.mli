@@ -1,0 +1,28 @@
+(** YCSB workloads against the SQLite-like database.
+
+    Workload A (50% read / 50% update, Zipfian keys) is what the paper
+    reports in Figures 9–11, on a 10,000-record table. The multithreaded
+    runner places one client thread per core; threads share the database
+    handle and contend on SQLite's writer lock and the file system's big
+    lock — the two serialization points that shape the scalability
+    curves. *)
+
+type kind = A | B | C
+
+val kind_name : kind -> string
+
+val read_fraction : kind -> float
+(** A = 0.5, B = 0.95, C = 1.0. *)
+
+type t
+
+val create :
+  Sky_ukernel.Kernel.t -> Sky_sqldb.Db.t -> records:int -> value_size:int -> t
+
+val load : t -> core:int -> unit
+(** Populate the table (not measured). *)
+
+val run : t -> kind:kind -> threads:int -> ops_per_thread:int -> float
+(** Run thread [i] on core [i] (interleaved in virtual time, all cores
+    synchronized at the start); returns throughput in ops/s at the
+    simulated 4 GHz clock. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bytes Char Config Gen Hashtbl Kernel Kv_server List Pipeline Printf QCheck QCheck_alcotest Rc4 Sky_core Sky_kvstore Sky_sim Sky_ukernel Sky_ycsb String

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Char Disk Fs Fs_iface Fsck Gen Kernel List Printf Proto QCheck QCheck_alcotest Ramdisk Sky_blockdev Sky_kernels Sky_sim Sky_ukernel Sky_xv6fs String

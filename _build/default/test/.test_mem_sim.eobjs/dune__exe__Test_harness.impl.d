@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Sky_harness String Tbl

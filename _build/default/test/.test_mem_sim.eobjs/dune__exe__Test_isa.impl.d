@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Char Decode Encode Gen Insn Int64 Interp List Printf QCheck QCheck_alcotest Reg Sky_isa String

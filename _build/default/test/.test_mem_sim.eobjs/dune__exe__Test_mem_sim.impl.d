@@ -1,0 +1,1 @@
+test/test_mem_sim.ml: Alcotest Bytes Cache Char Costs Cpu Frame_alloc Gen Hashtbl List Machine Memsys Phys_mem QCheck QCheck_alcotest Rng Sky_mem Sky_sim String Tlb

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest Bytes Cache Char Cpu Ept Frame_alloc Gen Hashtbl List Machine Page_table Phys_mem Pte QCheck QCheck_alcotest Sky_mem Sky_mmu Sky_sim String Tlb Translate Vcpu Vmcs Vmfunc

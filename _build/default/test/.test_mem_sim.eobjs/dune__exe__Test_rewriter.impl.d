@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Bytes Corpus Decode Encode Hashtbl Insn Int64 Interp List Printf QCheck QCheck_alcotest Reg Rewrite Scan Sky_isa Sky_rewriter Sky_sim String

@@ -1,0 +1,1 @@
+test/test_ukernel.ml: Alcotest Breakdown Bytes Config Costs Cpu Ipc Kernel Layout Lock Machine Printf Proc Sky_isa Sky_kernels Sky_mmu Sky_sim Sky_ukernel Tlb

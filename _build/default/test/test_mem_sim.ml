@@ -1,0 +1,385 @@
+(* Unit and property tests for the physical-memory and machine-simulator
+   substrates (lib/mem, lib/sim). *)
+
+open Sky_mem
+open Sky_sim
+
+let mem () = Phys_mem.create ~frames:64
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_u8_roundtrip () =
+  let m = mem () in
+  Phys_mem.write_u8 m 0 0xab;
+  Phys_mem.write_u8 m 4097 0xcd;
+  Alcotest.(check int) "byte 0" 0xab (Phys_mem.read_u8 m 0);
+  Alcotest.(check int) "byte 4097" 0xcd (Phys_mem.read_u8 m 4097);
+  Alcotest.(check int) "untouched is zero" 0 (Phys_mem.read_u8 m 100)
+
+let test_u64_roundtrip () =
+  let m = mem () in
+  Phys_mem.write_u64 m 8 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Phys_mem.read_u64 m 8);
+  (* little-endian byte order *)
+  Alcotest.(check int) "low byte" 0x88 (Phys_mem.read_u8 m 8);
+  Alcotest.(check int) "high byte" 0x11 (Phys_mem.read_u8 m 15)
+
+let test_u64_alignment () =
+  let m = mem () in
+  Alcotest.check_raises "unaligned read"
+    (Invalid_argument "Phys_mem.read_u64: unaligned 0x9") (fun () ->
+      ignore (Phys_mem.read_u64 m 9))
+
+let test_out_of_range () =
+  let m = mem () in
+  let size = Phys_mem.size_bytes m in
+  (try
+     ignore (Phys_mem.read_u8 m size);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    Phys_mem.write_u8 m (-1) 0;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_bytes_span_frames () =
+  let m = mem () in
+  let data = Bytes.init 9000 (fun i -> Char.chr (i land 0xff)) in
+  Phys_mem.write_bytes m 100 data;
+  let back = Phys_mem.read_bytes m 100 9000 in
+  Alcotest.(check bool) "spanning blit roundtrips" true (Bytes.equal data back)
+
+let test_lazy_frames () =
+  let m = Phys_mem.create ~frames:1024 in
+  Alcotest.(check int) "no frames touched" 0 (Phys_mem.touched_frames m);
+  Phys_mem.write_u8 m 0 1;
+  Phys_mem.write_u8 m (5 * 4096) 1;
+  Alcotest.(check int) "two frames touched" 2 (Phys_mem.touched_frames m)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"phys_mem blit roundtrips at random offsets"
+    ~count:100
+    QCheck.(pair (int_bound 20000) (string_of_size (Gen.int_range 1 5000)))
+    (fun (off, s) ->
+      let m = mem () in
+      Phys_mem.write_bytes m off (Bytes.of_string s);
+      Bytes.to_string (Phys_mem.read_bytes m off (String.length s)) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Frame_alloc                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_distinct () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  let f1 = Frame_alloc.alloc_frame a in
+  let f2 = Frame_alloc.alloc_frame a in
+  Alcotest.(check bool) "distinct frames" true (f1 <> f2);
+  Alcotest.(check int) "aligned" 0 (f1 land 4095);
+  Alcotest.(check int) "in use" 2 (Frame_alloc.in_use a)
+
+let test_alloc_zeroed () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  let f = Frame_alloc.alloc_frame a in
+  Phys_mem.write_u8 m f 7;
+  Frame_alloc.free_frame a f;
+  let f' = Frame_alloc.alloc_frame a in
+  Alcotest.(check int) "same frame reused" f f';
+  Alcotest.(check int) "zeroed on alloc" 0 (Phys_mem.read_u8 m f')
+
+let test_alloc_contiguous () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  let base = Frame_alloc.alloc_frames a ~count:8 in
+  Alcotest.(check int) "in use" 8 (Frame_alloc.in_use a);
+  Frame_alloc.free_frames a ~pa:base ~count:8;
+  Alcotest.(check int) "all freed" 0 (Frame_alloc.in_use a)
+
+let test_reserve () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  Frame_alloc.reserve a ~first_frame:0 ~count:10;
+  let f = Frame_alloc.alloc_frame a in
+  Alcotest.(check bool) "skips reserved" true (Phys_mem.frame_of_addr f >= 10);
+  Alcotest.check_raises "cannot free reserved"
+    (Invalid_argument "Frame_alloc: freeing reserved frame 0") (fun () ->
+      Frame_alloc.free_frame a 0)
+
+let test_exhaustion () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  for _ = 1 to 64 do
+    ignore (Frame_alloc.alloc_frame a)
+  done;
+  try
+    ignore (Frame_alloc.alloc_frame a);
+    Alcotest.fail "expected Out_of_memory"
+  with Frame_alloc.Out_of_memory -> ()
+
+let test_double_free () =
+  let m = mem () in
+  let a = Frame_alloc.create m in
+  let f = Frame_alloc.alloc_frame a in
+  Frame_alloc.free_frame a f;
+  try
+    Frame_alloc.free_frame a f;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~name:"allocated runs never overlap" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 5))
+    (fun counts ->
+      let m = Phys_mem.create ~frames:256 in
+      let a = Frame_alloc.create m in
+      let allocs =
+        List.filter_map
+          (fun c ->
+            try Some (Frame_alloc.alloc_frames a ~count:c, c)
+            with Frame_alloc.Out_of_memory -> None)
+          counts
+      in
+      let covered = Hashtbl.create 64 in
+      List.for_all
+        (fun (base, c) ->
+          let ok = ref true in
+          for i = 0 to c - 1 do
+            let f = Phys_mem.frame_of_addr base + i in
+            if Hashtbl.mem covered f then ok := false;
+            Hashtbl.replace covered f ()
+          done;
+          !ok)
+        allocs)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_cache () =
+  Cache.create ~name:"t" ~size_bytes:(4 * 64 * 2) ~ways:2 ~line_bytes:64
+(* 4 sets, 2 ways *)
+
+let test_cache_hit_after_access () =
+  let c = small_cache () in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0x1000);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0x1000);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 0x1030)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines in the same set (stride = sets * line = 256). *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  ignore (Cache.access c 0);
+  (* 0 is MRU *)
+  ignore (Cache.access c 512);
+  (* evicts 256 *)
+  Alcotest.(check bool) "0 still present" true (Cache.probe c 0);
+  Alcotest.(check bool) "256 evicted" false (Cache.probe c 256);
+  Alcotest.(check bool) "512 present" true (Cache.probe c 512)
+
+let test_cache_stats () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c);
+  Cache.reset_stats c;
+  Alcotest.(check int) "reset" 0 (Cache.hits c + Cache.misses c);
+  Alcotest.(check bool) "contents survive reset" true (Cache.probe c 0)
+
+let test_cache_geometry_validation () =
+  try
+    ignore (Cache.create ~name:"bad" ~size_bytes:100 ~ways:3 ~line_bytes:64);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_cache_capacity =
+  QCheck.Test.make ~name:"working set <= capacity always hits after warmup"
+    ~count:30
+    QCheck.(int_range 1 8)
+    (fun lines ->
+      let c = small_cache () in
+      (* [lines] distinct lines all mapping to different sets where
+         possible; warm up twice, then every access hits. *)
+      let addrs = List.init lines (fun i -> i * 64) in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      List.for_all (fun a -> Cache.access c a) addrs)
+
+(* ------------------------------------------------------------------ *)
+(* Tlb                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tlb () = Tlb.create ~name:"t" ~entries:8 ~ways:2
+
+let entry ppn = { Tlb.ppn; page_shift = 12; writable = true; user = true }
+
+let test_tlb_insert_lookup () =
+  let t = tlb () in
+  Alcotest.(check bool) "miss first" true (Tlb.lookup t ~asid:1 ~vpn:5 = None);
+  Tlb.insert t ~asid:1 ~vpn:5 (entry 42);
+  (match Tlb.lookup t ~asid:1 ~vpn:5 with
+  | Some e -> Alcotest.(check int) "ppn" 42 e.Tlb.ppn
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other asid misses" true (Tlb.lookup t ~asid:2 ~vpn:5 = None)
+
+let test_tlb_flush_asid () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:1 (entry 1);
+  Tlb.insert t ~asid:2 ~vpn:1 (entry 2);
+  Tlb.flush_asid t ~asid:1;
+  Alcotest.(check bool) "asid1 flushed" true (Tlb.lookup t ~asid:1 ~vpn:1 = None);
+  Alcotest.(check bool) "asid2 kept" true (Tlb.lookup t ~asid:2 ~vpn:1 <> None)
+
+let test_tlb_flush_all () =
+  let t = tlb () in
+  Tlb.insert t ~asid:1 ~vpn:1 (entry 1);
+  Tlb.flush_all t;
+  Alcotest.(check bool) "flushed" true (Tlb.lookup t ~asid:1 ~vpn:1 = None)
+
+let test_tlb_eviction () =
+  let t = tlb () in
+  (* 4 sets x 2 ways; vpns 0,4,8 share set 0. *)
+  Tlb.insert t ~asid:0 ~vpn:0 (entry 0);
+  Tlb.insert t ~asid:0 ~vpn:4 (entry 4);
+  ignore (Tlb.lookup t ~asid:0 ~vpn:0);
+  Tlb.insert t ~asid:0 ~vpn:8 (entry 8);
+  Alcotest.(check bool) "lru (vpn 4) evicted" true (Tlb.lookup t ~asid:0 ~vpn:4 = None);
+  Alcotest.(check bool) "mru kept" true (Tlb.lookup t ~asid:0 ~vpn:0 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Cpu / Machine / Memsys                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_charge () =
+  let machine = Machine.create ~cores:2 ~mem_mib:16 () in
+  let c = Machine.core machine 0 in
+  Cpu.charge c 100;
+  Cpu.charge c 50;
+  Alcotest.(check int) "cycles accumulate" 150 (Cpu.cycles c);
+  Cpu.advance_to c 120;
+  Alcotest.(check int) "advance_to never goes back" 150 (Cpu.cycles c);
+  Cpu.advance_to c 500;
+  Alcotest.(check int) "advance_to goes forward" 500 (Cpu.cycles c)
+
+let test_machine_sync () =
+  let machine = Machine.create ~cores:3 ~mem_mib:16 () in
+  Cpu.charge (Machine.core machine 1) 1000;
+  Alcotest.(check int) "max across cores" 1000 (Machine.max_cycles machine);
+  Machine.sync_cores machine;
+  Alcotest.(check int) "core 0 advanced" 1000 (Cpu.cycles (Machine.core machine 0))
+
+let test_memsys_latencies () =
+  let machine = Machine.create ~cores:1 ~mem_mib:16 () in
+  let c = Machine.core machine 0 in
+  Memsys.access c Memsys.Data 0x4000;
+  Alcotest.(check int) "cold access costs DRAM" Costs.lat_dram (Cpu.cycles c);
+  Memsys.access c Memsys.Data 0x4000;
+  Alcotest.(check int) "then L1"
+    (Costs.lat_dram + Costs.lat_l1)
+    (Cpu.cycles c)
+
+let test_memsys_l2_fill () =
+  let machine = Machine.create ~cores:1 ~mem_mib:16 () in
+  let c = Machine.core machine 0 in
+  (* Fill L1d (32 KiB, 512 lines) beyond capacity with a 64 KiB sweep;
+     then the first line should still be in L2 (256 KiB). *)
+  for i = 0 to 1023 do
+    Memsys.access c Memsys.Data (i * 64)
+  done;
+  let before = Cpu.cycles c in
+  Memsys.access c Memsys.Data 0;
+  let lat = Cpu.cycles c - before in
+  Alcotest.(check int) "L1 evicted, L2 hit" Costs.lat_l2 lat
+
+let test_footprint_counters () =
+  let machine = Machine.create ~cores:1 ~mem_mib:16 () in
+  let c = Machine.core machine 0 in
+  Memsys.access c Memsys.Insn 0;
+  Memsys.access c Memsys.Data 4096;
+  let fp = Cpu.footprint c in
+  Alcotest.(check int) "l1i miss" 1 fp.Cpu.l1i_miss;
+  Alcotest.(check int) "l1d miss" 1 fp.Cpu.l1d_miss;
+  Alcotest.(check int) "both fell through l2" 2 fp.Cpu.l2_miss
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 10 (fun _ -> Rng.next a) in
+  let ys = List.init 10 (fun _ -> Rng.next b) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:200 QCheck.int (fun seed ->
+      let r = Rng.create ~seed in
+      let f = Rng.float r in
+      f >= 0.0 && f < 1.0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mem_sim"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "u8 roundtrip" `Quick test_u8_roundtrip;
+          Alcotest.test_case "u64 roundtrip LE" `Quick test_u64_roundtrip;
+          Alcotest.test_case "u64 alignment enforced" `Quick test_u64_alignment;
+          Alcotest.test_case "range checks" `Quick test_out_of_range;
+          Alcotest.test_case "byte blits span frames" `Quick test_bytes_span_frames;
+          Alcotest.test_case "frames materialize lazily" `Quick test_lazy_frames;
+        ]
+        @ qc [ prop_bytes_roundtrip ] );
+      ( "frame_alloc",
+        [
+          Alcotest.test_case "distinct frames" `Quick test_alloc_distinct;
+          Alcotest.test_case "frames zeroed on alloc" `Quick test_alloc_zeroed;
+          Alcotest.test_case "contiguous runs" `Quick test_alloc_contiguous;
+          Alcotest.test_case "reserved ranges" `Quick test_reserve;
+          Alcotest.test_case "exhaustion raises" `Quick test_exhaustion;
+          Alcotest.test_case "double free detected" `Quick test_double_free;
+        ]
+        @ qc [ prop_alloc_no_overlap ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after access" `Quick test_cache_hit_after_access;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "geometry validated" `Quick test_cache_geometry_validation;
+        ]
+        @ qc [ prop_cache_capacity ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "insert/lookup with asid" `Quick test_tlb_insert_lookup;
+          Alcotest.test_case "flush_asid selective" `Quick test_tlb_flush_asid;
+          Alcotest.test_case "flush_all" `Quick test_tlb_flush_all;
+          Alcotest.test_case "LRU eviction" `Quick test_tlb_eviction;
+        ] );
+      ( "cpu_machine",
+        [
+          Alcotest.test_case "cycle charging" `Quick test_cpu_charge;
+          Alcotest.test_case "core sync barrier" `Quick test_machine_sync;
+          Alcotest.test_case "memsys latencies" `Quick test_memsys_latencies;
+          Alcotest.test_case "L2 backstop" `Quick test_memsys_l2_fill;
+          Alcotest.test_case "footprint counters" `Quick test_footprint_counters;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds respected" `Quick test_rng_bounds;
+        ]
+        @ qc [ prop_rng_float_range ] );
+    ]

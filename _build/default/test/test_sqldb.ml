@@ -1,0 +1,331 @@
+(* Tests for the pager, B+tree and DB facade, including model-based
+   property tests against Stdlib.Hashtbl. *)
+
+open Sky_ukernel
+open Sky_blockdev
+open Sky_xv6fs
+open Sky_sqldb
+open Sky_sim
+
+let fresh ?(value_size = 64) () =
+  let machine = Machine.create ~cores:4 ~mem_mib:128 () in
+  let k = Kernel.create machine in
+  let rd = Ramdisk.create machine ~nblocks:8192 in
+  let disk = Disk.direct k rd in
+  Fs.mkfs k disk ~core:0 ~size:8192 ();
+  let fs = Fs.mount k disk ~core:0 in
+  let iface = Fs_iface.of_fs fs in
+  let db = Db.create k iface ~core:0 ~name:"tbl" ~value_size in
+  (k, iface, db)
+
+let v s = Bytes.of_string s
+
+(* ------------------------------------------------------------------ *)
+(* Pager                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pager_cache_hits () =
+  let _, _, db = fresh () in
+  let pager = Db.pager db in
+  ignore (Pager.read pager ~core:0 0);
+  let h0 = Pager.hits pager in
+  ignore (Pager.read pager ~core:0 0);
+  ignore (Pager.read pager ~core:0 0);
+  Alcotest.(check int) "hits counted" (h0 + 2) (Pager.hits pager)
+
+let test_pager_write_through () =
+  let k, iface, db = fresh () in
+  ignore k;
+  let pager = Db.pager db in
+  let page = Bytes.make Pager.page_size 'p' in
+  Pager.write pager ~core:0 7 page;
+  (* The FS (bypassing the pager cache) sees the data. *)
+  let inum =
+    match iface.Fs_iface.lookup ~core:0 "tbl" with Some i -> i | None -> assert false
+  in
+  let back =
+    iface.Fs_iface.read ~core:0 ~inum ~off:(7 * Pager.page_size) ~len:Pager.page_size
+  in
+  Alcotest.(check bool) "write-through" true (Bytes.equal page back)
+
+(* ------------------------------------------------------------------ *)
+(* Btree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  let _, _, db = fresh () in
+  let t = Db.tree db in
+  Btree.insert t ~core:0 ~key:5 ~value:(v "five");
+  Btree.insert t ~core:0 ~key:3 ~value:(v "three");
+  Btree.insert t ~core:0 ~key:9 ~value:(v "nine");
+  Alcotest.(check int) "count" 3 (Btree.count t);
+  (match Btree.query t ~core:0 5 with
+  | Some b -> Alcotest.(check string) "value" "five" (Bytes.to_string (Bytes.sub b 0 4))
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "absent" true (Btree.query t ~core:0 7 = None);
+  Alcotest.(check (list int)) "sorted" [ 3; 5; 9 ] (Btree.keys t ~core:0)
+
+let test_btree_split_and_depth () =
+  let _, _, db = fresh ~value_size:200 () in
+  (* value 200 -> ~4 records per leaf: splits kick in fast. *)
+  let t = Db.tree db in
+  for key = 0 to 199 do
+    Btree.insert t ~core:0 ~key ~value:(v (string_of_int key))
+  done;
+  Alcotest.(check int) "count" 200 (Btree.count t);
+  Alcotest.(check (list int)) "in order" (List.init 200 Fun.id) (Btree.keys t ~core:0);
+  for key = 0 to 199 do
+    match Btree.query t ~core:0 key with
+    | Some b ->
+      let s = string_of_int key in
+      Alcotest.(check string) "value survives splits" s
+        (Bytes.to_string (Bytes.sub b 0 (String.length s)))
+    | None -> Alcotest.failf "lost key %d" key
+  done
+
+let test_btree_persistence () =
+  let k, iface, db = fresh () in
+  let t = Db.tree db in
+  for key = 0 to 50 do
+    Btree.insert t ~core:0 ~key ~value:(v (string_of_int key))
+  done;
+  Btree.flush t ~core:0;
+  (* Reopen from disk. *)
+  let db2 = Db.open_ k iface ~core:0 ~name:"tbl" in
+  Alcotest.(check int) "count persisted" 51 (Btree.count (Db.tree db2));
+  match Db.query db2 ~core:0 ~key:37 with
+  | Some b -> Alcotest.(check string) "persisted value" "37" (Bytes.to_string (Bytes.sub b 0 2))
+  | None -> Alcotest.fail "lost after reopen"
+
+let prop_btree_vs_model =
+  QCheck.Test.make ~name:"btree agrees with a Hashtbl model" ~count:15
+    QCheck.(
+      list_of_size (Gen.int_range 1 300)
+        (pair (int_bound 500) (int_bound 2)))
+    (fun ops ->
+      let _, _, db = fresh ~value_size:32 () in
+      let t = Db.tree db in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (key, op) ->
+          match op with
+          | 0 ->
+            let value = Printf.sprintf "v%d" key in
+            Btree.insert t ~core:0 ~key ~value:(v value);
+            Hashtbl.replace model key value
+          | 1 ->
+            let deleted = Btree.delete t ~core:0 ~key in
+            let expected = Hashtbl.mem model key in
+            Hashtbl.remove model key;
+            if deleted <> expected then failwith "delete mismatch"
+          | _ ->
+            let got = Btree.query t ~core:0 key in
+            let expected = Hashtbl.find_opt model key in
+            let ok =
+              match (got, expected) with
+              | None, None -> true
+              | Some b, Some s ->
+                Bytes.to_string (Bytes.sub b 0 (String.length s)) = s
+              | _ -> false
+            in
+            if not ok then failwith "query mismatch")
+        ops;
+      (* Final sweep. *)
+      Hashtbl.fold
+        (fun key value acc ->
+          acc
+          &&
+          match Btree.query t ~core:0 key with
+          | Some b -> Bytes.to_string (Bytes.sub b 0 (String.length value)) = value
+          | None -> false)
+        model true
+      && Btree.count t = Hashtbl.length model)
+
+(* ------------------------------------------------------------------ *)
+(* Db                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_db_crud () =
+  let _, _, db = fresh () in
+  Db.insert db ~core:0 ~key:1 ~value:(v "one");
+  Alcotest.(check bool) "query hit" true (Db.query db ~core:0 ~key:1 <> None);
+  Alcotest.(check bool) "update hit" true (Db.update db ~core:0 ~key:1 ~value:(v "uno"));
+  Alcotest.(check bool) "update miss" false (Db.update db ~core:0 ~key:2 ~value:(v "x"));
+  Alcotest.(check bool) "delete hit" true (Db.delete db ~core:0 ~key:1);
+  Alcotest.(check bool) "delete miss" false (Db.delete db ~core:0 ~key:1);
+  Alcotest.(check bool) "gone" true (Db.query db ~core:0 ~key:1 = None)
+
+let test_db_query_cheaper_than_insert () =
+  (* Table 4's shape in miniature: queries hit the pager cache and cost
+     far fewer cycles than journaled writes. *)
+  let k, _, db = fresh () in
+  for key = 0 to 99 do
+    Db.insert db ~core:0 ~key ~value:(v "warm")
+  done;
+  let cpu = Kernel.cpu k ~core:0 in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for key = 0 to 99 do
+    ignore (Db.query db ~core:0 ~key)
+  done;
+  let query_cycles = Sky_sim.Cpu.cycles cpu - t0 in
+  let t1 = Sky_sim.Cpu.cycles cpu in
+  for key = 100 to 199 do
+    Db.insert db ~core:0 ~key ~value:(v "cold")
+  done;
+  let insert_cycles = Sky_sim.Cpu.cycles cpu - t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "query (%d) < insert (%d)" query_cycles insert_cycles)
+    true
+    (query_cycles < insert_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Journal crash recovery                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash after [n] more disk writes during an update; reopen; the value
+   must be entirely old or entirely new, never torn, and the tree must
+   stay readable. *)
+let db_crash_after n =
+  let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:128 () in
+  let k = Kernel.create machine in
+  let rd = Ramdisk.create machine ~nblocks:8192 in
+  let raw = Disk.direct k rd in
+  Fs.mkfs k raw ~core:0 ~size:8192 ();
+  let budget = ref max_int in
+  let disk = Disk.faulty raw ~fail_after:budget in
+  let fs = Fs.mount k disk ~core:0 in
+  let iface = Fs_iface.of_fs fs in
+  let db = Db.create k iface ~core:0 ~name:"t" ~value_size:32 in
+  Db.insert db ~core:0 ~key:1 ~value:(v "old-value");
+  Btree.flush (Db.tree db) ~core:0;
+  budget := n;
+  (try ignore (Db.update db ~core:0 ~key:1 ~value:(v "new-value"))
+   with Disk.Crash _ -> ());
+  (* Power back on: remount the FS (log replay), reopen the DB (journal
+     rollback). *)
+  let fs' = Fs.mount k raw ~core:0 in
+  let db' = Db.open_ k (Fs_iface.of_fs fs') ~core:0 ~name:"t" in
+  match Db.query db' ~core:0 ~key:1 with
+  | None -> Alcotest.failf "key lost after crash at %d" n
+  | Some got ->
+    let s = Bytes.to_string (Bytes.sub got 0 9) in
+    if s <> "old-value" && s <> "new-value" then
+      Alcotest.failf "torn value %S after crash at %d" s n
+
+let test_db_crash_recovery_sweep () =
+  List.iter db_crash_after [ 0; 1; 2; 3; 4; 6; 8; 11; 15; 20; 30; 50 ]
+
+let prop_db_crash_recovery =
+  QCheck.Test.make ~name:"journal rollback: never a torn row" ~count:15
+    QCheck.(int_bound 60)
+    (fun n ->
+      db_crash_after n;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* SQL front end                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sql_crud () =
+  let _, _, db = fresh () in
+  (match Sql.exec db ~core:0 "INSERT INTO tbl VALUES (42, 'hello world')" with
+  | Sql.Ok_affected 1 -> ()
+  | _ -> Alcotest.fail "insert");
+  (match Sql.exec db ~core:0 "SELECT value FROM tbl WHERE key = 42" with
+  | Sql.Row s -> Alcotest.(check string) "select" "hello world" s
+  | _ -> Alcotest.fail "select");
+  (match Sql.exec db ~core:0 "UPDATE tbl SET value = 'bye' WHERE key = 42" with
+  | Sql.Ok_affected 1 -> ()
+  | _ -> Alcotest.fail "update");
+  (match Sql.exec db ~core:0 "select * from tbl where key = 42" with
+  | Sql.Row s -> Alcotest.(check string) "lowercase keywords" "bye" s
+  | _ -> Alcotest.fail "select 2");
+  (match Sql.exec db ~core:0 "DELETE FROM tbl WHERE key = 42" with
+  | Sql.Ok_affected 1 -> ()
+  | _ -> Alcotest.fail "delete");
+  match Sql.exec db ~core:0 "SELECT * FROM tbl WHERE key = 42" with
+  | Sql.Empty -> ()
+  | _ -> Alcotest.fail "gone"
+
+let test_sql_misses_and_escapes () =
+  let _, _, db = fresh () in
+  (match Sql.exec db ~core:0 "UPDATE tbl SET value = 'x' WHERE key = 7" with
+  | Sql.Ok_affected 0 -> ()
+  | _ -> Alcotest.fail "update miss = 0 rows");
+  (match Sql.exec db ~core:0 "INSERT INTO tbl VALUES (1, 'it''s quoted')" with
+  | Sql.Ok_affected 1 -> ()
+  | _ -> Alcotest.fail "insert escape");
+  match Sql.exec db ~core:0 "SELECT * FROM tbl WHERE key = 1" with
+  | Sql.Row s -> Alcotest.(check string) "'' unescapes" "it's quoted" s
+  | _ -> Alcotest.fail "select escape"
+
+let test_sql_errors () =
+  let _, _, db = fresh () in
+  let bad stmt =
+    try
+      ignore (Sql.exec db ~core:0 stmt);
+      Alcotest.failf "expected Parse_error for %S" stmt
+    with Sql.Parse_error _ -> ()
+  in
+  bad "DROP TABLE tbl";
+  bad "INSERT INTO tbl VALUES (1)";
+  bad "SELECT * FROM other WHERE key = 1";
+  bad "SELECT * FROM tbl WHERE name = 'x'";
+  bad "INSERT INTO tbl VALUES (1, 'unterminated)";
+  bad ""
+
+let prop_sql_roundtrip =
+  QCheck.Test.make ~name:"SQL insert/select roundtrips arbitrary strings" ~count:50
+    QCheck.(pair (int_bound 1000) (string_of_size (Gen.int_range 0 40)))
+    (fun (key, value) ->
+      QCheck.assume (not (String.contains value '\000'));
+      let _, _, db = fresh () in
+      let quoted =
+        String.concat "''" (String.split_on_char '\'' value)
+      in
+      (match
+         Sql.exec db ~core:0
+           (Printf.sprintf "INSERT INTO tbl VALUES (%d, '%s')" key quoted)
+       with
+      | Sql.Ok_affected 1 -> ()
+      | _ -> failwith "insert");
+      match
+        Sql.exec db ~core:0 (Printf.sprintf "SELECT * FROM tbl WHERE key = %d" key)
+      with
+      | Sql.Row s -> s = value
+      | _ -> false)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sqldb"
+    [
+      ( "pager",
+        [
+          Alcotest.test_case "cache hits" `Quick test_pager_cache_hits;
+          Alcotest.test_case "write-through" `Quick test_pager_write_through;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "splits" `Quick test_btree_split_and_depth;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+        ]
+        @ qc [ prop_btree_vs_model ] );
+      ( "db",
+        [
+          Alcotest.test_case "crud" `Quick test_db_crud;
+          Alcotest.test_case "query cheaper than insert" `Quick
+            test_db_query_cheaper_than_insert;
+        ] );
+      ( "journal",
+        [ Alcotest.test_case "crash sweep" `Slow test_db_crash_recovery_sweep ]
+        @ qc [ prop_db_crash_recovery ] );
+      ( "sql",
+        [
+          Alcotest.test_case "crud statements" `Quick test_sql_crud;
+          Alcotest.test_case "misses + quote escapes" `Quick
+            test_sql_misses_and_escapes;
+          Alcotest.test_case "parse errors" `Quick test_sql_errors;
+        ]
+        @ qc [ prop_sql_roundtrip ] );
+    ]
