@@ -4,7 +4,9 @@
      skybench list
      skybench run table4
      skybench run all
-     skybench run fig9 --records 10000 --ops 1000   (paper-scale YCSB) *)
+     skybench run table4 --json                     (machine-readable table)
+     skybench run fig9 --records 10000 --ops 1000   (paper-scale YCSB)
+     skybench trace fig7 -o trace.json              (Chrome/Perfetto trace) *)
 
 open Cmdliner
 
@@ -19,7 +21,11 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_one ~records ~ops id =
+let emit ~json tbl =
+  if json then print_endline (Sky_harness.Tbl.to_json tbl)
+  else Sky_harness.Tbl.print tbl
+
+let run_one ~records ~ops ~json id =
   match id with
   | "fig9" | "fig10" | "fig11" when records <> None || ops <> None ->
     let variant =
@@ -28,12 +34,12 @@ let run_one ~records ~ops id =
       | "fig10" -> Sky_ukernel.Config.Fiasco
       | _ -> Sky_ukernel.Config.Zircon
     in
-    Sky_harness.Tbl.print
+    emit ~json
       (Sky_experiments.Exp_ycsb.run_variant
          ?records ?ops_per_thread:ops variant)
   | _ -> (
     match Sky_experiments.Registry.find id with
-    | Some e -> Sky_harness.Tbl.print (e.Sky_experiments.Registry.run ())
+    | Some e -> emit ~json (e.Sky_experiments.Registry.run ())
     | None ->
       Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
       exit 1)
@@ -47,16 +53,79 @@ let run_cmd =
   let ops =
     Arg.(value & opt (some int) None & info [ "ops" ] ~doc:"YCSB ops per thread")
   in
-  let run id records ops =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result table as JSON.")
+  in
+  let run id records ops json =
     if id = "all" then
       List.iter
         (fun e ->
-          Sky_harness.Tbl.print (e.Sky_experiments.Registry.run ());
-          print_newline ())
+          emit ~json (e.Sky_experiments.Registry.run ());
+          if not json then print_newline ())
         Sky_experiments.Registry.all
-    else run_one ~records ~ops id
+    else run_one ~records ~ops ~json id
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id $ records $ ops)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id $ records $ ops $ json)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let trace_cmd =
+  let doc =
+    "Run an experiment with the cycle tracer enabled; print its latency \
+     histograms and per-category cycle attribution, and write a Chrome \
+     trace_event JSON loadable in chrome://tracing or Perfetto."
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Trace output path (default $(docv) = <ID>.trace.json).")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Also write folded stacks for flamegraph.pl / speedscope.")
+  in
+  let run id out folded =
+    match Sky_experiments.Registry.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
+      exit 1
+    | Some e ->
+      Sky_trace.Trace.enable ();
+      let tbl = e.Sky_experiments.Registry.run () in
+      Sky_trace.Trace.disable ();
+      Sky_harness.Tbl.print tbl;
+      print_newline ();
+      Sky_harness.Tbl.print
+        (Sky_harness.Tbl.of_categories
+           ~title:(Printf.sprintf "%s: cycle attribution by trace category" id)
+           (Sky_trace.Trace.categories ()));
+      print_newline ();
+      Sky_harness.Tbl.print
+        (Sky_harness.Tbl.of_histograms
+           ~title:(Printf.sprintf "%s: span latency histograms (cycles)" id)
+           (Sky_trace.Trace.histograms ()));
+      let path = match out with Some p -> p | None -> id ^ ".trace.json" in
+      write_file path (Sky_trace.Chrome.export ());
+      Printf.printf "\nwrote %s (%d events, %d dropped)\n" path
+        (List.length (Sky_trace.Trace.events ()))
+        (Sky_trace.Trace.dropped ());
+      (match folded with
+      | Some p ->
+        write_file p (Sky_trace.Folded.export ());
+        Printf.printf "wrote %s\n" p
+      | None -> ());
+      Sky_trace.Trace.clear ()
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id $ out $ folded)
 
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
@@ -75,4 +144,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "skybench" ~doc ~version:"1.0")
-          [ list_cmd; run_cmd; md_cmd ]))
+          [ list_cmd; run_cmd; md_cmd; trace_cmd ]))

@@ -192,6 +192,7 @@ let run kernel ~core ~entry ?regs ?(max_steps = 100_000) () =
         | Insn.Vmfunc ->
           (* The real thing: EPTP switching with RAX = function, RCX =
              index, exactly as the trampoline encodes it. *)
+          Sky_trace.Trace.instant ~core ~cat:"vmfunc" "exec.vmfunc";
           Sky_mmu.Vmfunc.execute vcpu
             ~func:(Int64.to_int (get regs Reg.Rax))
             ~index:(Int64.to_int (get regs Reg.Rcx));

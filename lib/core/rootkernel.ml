@@ -75,6 +75,9 @@ let exits_of t reason =
   Array.fold_left (fun acc v -> acc + Vmcs.exits v reason) 0 t.vmcses
 
 let record t ~core reason cost =
+  Sky_trace.Trace.span ~core ~cat:"vmexit"
+    ("vmexit." ^ Vmcs.exit_reason_name reason)
+  @@ fun () ->
   let cpu = Kernel.cpu t.kernel ~core in
   Log.debug (fun m -> m "VM exit on core %d: %s" core (Vmcs.exit_reason_name reason));
   Vmcs.record_exit t.vmcses.(core) reason;

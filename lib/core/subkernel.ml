@@ -416,12 +416,27 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
   t.calls |> fun n -> b.last_use <- n;
   let idx = ensure_installed t ~core ps b in
   let start = Cpu.cycles cpu in
+  (* Roundtrip span: feeds the "skybridge.<kernel>.call" latency
+     histogram; inner spans (vmfunc, copies, key check) refine the
+     per-category attribution. *)
+  let span_name =
+    "skybridge."
+    ^ (match t.kernel.Kernel.config.Config.variant with
+      | Config.Sel4 -> "sel4"
+      | Config.Fiasco -> "fiasco"
+      | Config.Zircon -> "zircon"
+      | Config.Linux -> "linux")
+    ^ ".call"
+  in
+  Sky_trace.Trace.span ~core ~cat:"ipc" span_name @@ fun () ->
   let conn = core mod srv.connection_count in
   let large = Bytes.length msg > Ipc.register_msg_limit in
   (* --- client side of the trampoline --- *)
   Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
   let copy0 = Cpu.cycles cpu in
-  if large then guest_copy_out t ~core b.buffer_vas.(conn) msg;
+  if large then
+    Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+        guest_copy_out t ~core b.buffer_vas.(conn) msg);
   let copy_cycles = ref (Cpu.cycles cpu - copy0) in
   let client_key = fresh_key t in
   (* --- VMFUNC into the server --- *)
@@ -445,7 +460,11 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
   let presented =
     match attack with Some `Fake_server_key -> 0xBADBADL | _ -> b.server_key
   in
-  if not (check_key t ~core srv presented) then begin
+  let key_ok =
+    Sky_trace.Trace.span ~core ~cat:"other" "skybridge.keycheck" (fun () ->
+        check_key t ~core srv presented)
+  in
+  if not key_ok then begin
     security t
       (Printf.sprintf "server %d rejected key %Lx from pid %d" server_id
          presented ps.proc.Proc.pid);
@@ -453,7 +472,9 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
     raise (Bad_server_key { server_id; presented })
   end;
   let msg' =
-    if large then guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length msg)
+    if large then
+      Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+          guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length msg))
     else msg
   in
   let reply = srv.handler ~core msg' in
@@ -475,7 +496,8 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
   let reply_large = Bytes.length reply > Ipc.register_msg_limit in
   if reply_large then begin
     let c0 = Cpu.cycles cpu in
-    guest_copy_out t ~core b.buffer_vas.(conn) reply;
+    Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+        guest_copy_out t ~core b.buffer_vas.(conn) reply);
     copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0)
   end;
   let reply = finish_return reply in
@@ -486,7 +508,10 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
   let reply =
     if reply_large then begin
       let c0 = Cpu.cycles cpu in
-      let r = guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length reply) in
+      let r =
+        Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+            guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length reply))
+      in
       copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0);
       r
     end

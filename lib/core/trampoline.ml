@@ -52,6 +52,9 @@ let vmfunc_ranges code =
 let crossing_cycles = Sky_sim.Costs.skybridge_crossing_other
 
 let charge_crossing cpu ~text_pa =
+  Sky_trace.Trace.span ~core:(Sky_sim.Cpu.id cpu) ~cat:"other"
+    "trampoline.crossing"
+  @@ fun () ->
   Sky_sim.Cpu.charge cpu crossing_cycles;
   (* The trampoline text itself flows through the i-cache. *)
   Sky_sim.Memsys.touch_range_state_only cpu Sky_sim.Memsys.Insn ~pa:text_pa

@@ -50,6 +50,54 @@ let to_markdown t =
   Buffer.add_string buf "\n";
   Buffer.contents buf
 
+(* Machine-readable rendering for `skybench run --json`, so benchmark
+   trajectories can be recorded across PRs. *)
+let to_json t =
+  let open Sky_trace.Json in
+  let row cells = List (List.map (fun c -> String c) cells) in
+  to_string
+    (Obj
+       [
+         ("title", String t.title);
+         ("header", row t.header);
+         ("rows", List (List.map row t.rows));
+         ("notes", row t.notes);
+       ])
+
+(* Render tracer latency histograms as a table — the hook any experiment
+   (or `skybench trace`) uses to print its p50/p95/p99 profile. *)
+let of_histograms ~title hists =
+  make ~title
+    ~header:[ "span"; "count"; "p50"; "p95"; "p99"; "max"; "mean" ]
+    (List.map
+       (fun (name, h) ->
+         let open Sky_trace.Histogram in
+         [
+           name;
+           string_of_int (count h);
+           string_of_int (p50 h);
+           string_of_int (p95 h);
+           string_of_int (p99 h);
+           string_of_int (max_value h);
+           Printf.sprintf "%.1f" (mean h);
+         ])
+       hists)
+
+(* Per-category cycle attribution (the tracer's Figure-7-style view). *)
+let of_categories ~title cats =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 cats in
+  make ~title
+    ~header:[ "category"; "cycles"; "share" ]
+    (List.map
+       (fun (name, c) ->
+         [
+           name;
+           string_of_int c;
+           (if total = 0 then "0.0%"
+            else Printf.sprintf "%.1f%%" (100.0 *. float_of_int c /. float_of_int total));
+         ])
+       cats)
+
 let fmt_int n =
   (* 12345 -> "12,345" for readability *)
   let s = string_of_int n in

@@ -75,6 +75,25 @@ let buffer_va t proc =
 
 let costs t = Costs_table.for_variant t.kernel.Kernel.config.Config.variant
 
+let variant_slug t =
+  match t.kernel.Kernel.config.Config.variant with
+  | Config.Sel4 -> "sel4"
+  | Config.Fiasco -> "fiasco"
+  | Config.Zircon -> "zircon"
+  | Config.Linux -> "linux"
+
+(* Trace-span name of one IPC leg: the per-kernel phase the paper names
+   in §6.3 (seL4 fast/slowpath, Fiasco fastpath-with-DRQ, Zircon's
+   channel path, Linux's UDS path). *)
+let leg_name t ~fast =
+  match (t.kernel.Kernel.config.Config.variant, fast) with
+  | Config.Sel4, true -> "sel4.fastpath"
+  | Config.Sel4, false -> "sel4.slowpath"
+  | Config.Fiasco, true -> "fiasco.fastpath.drq"
+  | Config.Fiasco, false -> "fiasco.slowpath"
+  | Config.Zircon, _ -> "zircon.channel"
+  | Config.Linux, _ -> "linux.uds"
+
 (* Measure the cycles a closure consumes on [core]. *)
 let timed t ~core f =
   let c = Kernel.cpu t.kernel ~core in
@@ -149,6 +168,7 @@ let transfer t ~core ~src ~dst data =
 (* One direction of an IPC on a single core: kernel entry, logic, message
    transfer, switch to [target], kernel exit. *)
 let leg t ~core ~from_proc ~to_proc ~fast ~cross data (bd : Breakdown.t) =
+  Sky_trace.Trace.span ~core ~cat:"other" (leg_name t ~fast) @@ fun () ->
   let k = t.kernel in
   let cost = costs t in
   let c = Kernel.cpu k ~core in
@@ -164,7 +184,8 @@ let leg t ~core ~from_proc ~to_proc ~fast ~cross data (bd : Breakdown.t) =
     ~off:4096;
   Kernel.touch_kernel_data k ~core ~bytes:cost.Costs_table.data_touch ~off:0;
   if not fast then begin
-    Cpu.charge c cost.Costs_table.sched;
+    Sky_trace.Trace.span ~core ~cat:"sched" "schedule" (fun () ->
+        Cpu.charge c cost.Costs_table.sched);
     bd.Breakdown.sched <- bd.Breakdown.sched + cost.Costs_table.sched;
     Kernel.touch_kernel_text k ~core ~bytes:2048 ~off:65536
   end;
@@ -174,7 +195,10 @@ let leg t ~core ~from_proc ~to_proc ~fast ~cross data (bd : Breakdown.t) =
   end;
   (* Message transfer (also performs the context switch to the target as
      a side effect of addressing both buffers). *)
-  let copy_cycles = transfer t ~core ~src:from_proc ~dst:to_proc data in
+  let copy_cycles =
+    Sky_trace.Trace.span ~core ~cat:"copy" "ipc.copy" (fun () ->
+        transfer t ~core ~src:from_proc ~dst:to_proc data)
+  in
   bd.Breakdown.copy <- bd.Breakdown.copy + copy_cycles;
   (* Address-space switch to the target (no-op if transfer already
      switched). *)
@@ -209,6 +233,7 @@ let local_call t ~core ~client ep ~fast msg =
    clock also advances, which is what serializes concurrent callers of a
    single-threaded server. *)
 let cross_call t ~core ~client ep ~server_core msg =
+  Sky_trace.Trace.span ~core ~cat:"other" (variant_slug t ^ ".cross") @@ fun () ->
   let k = t.kernel in
   let bd = ep.stats in
   let cost = costs t in
@@ -223,11 +248,13 @@ let cross_call t ~core ~client ep ~server_core msg =
   (* Server core: interrupt entry, schedule the server thread, copy the
      message in, run the handler. *)
   Kernel.kernel_entry k ~core:server_core;
-  Cpu.charge scpu (cost.Costs_table.sched + cost.Costs_table.cross_extra);
+  Sky_trace.Trace.span ~core:server_core ~cat:"sched" "schedule" (fun () ->
+      Cpu.charge scpu (cost.Costs_table.sched + cost.Costs_table.cross_extra));
   bd.Breakdown.sched <- bd.Breakdown.sched + cost.Costs_table.sched;
   bd.Breakdown.other <- bd.Breakdown.other + cost.Costs_table.cross_extra;
   let copy1 =
-    transfer t ~core:server_core ~src:client ~dst:ep.server msg
+    Sky_trace.Trace.span ~core:server_core ~cat:"copy" "ipc.copy" (fun () ->
+        transfer t ~core:server_core ~src:client ~dst:ep.server msg)
   in
   let _, ctx1 =
     timed t ~core:server_core (fun () ->
@@ -238,7 +265,8 @@ let cross_call t ~core ~client ep ~server_core msg =
   (* Server replies: trap, copy out, IPI the client back. *)
   Kernel.kernel_entry k ~core:server_core;
   let copy2 =
-    transfer t ~core:server_core ~src:ep.server ~dst:client reply
+    Sky_trace.Trace.span ~core:server_core ~cat:"copy" "ipc.copy" (fun () ->
+        transfer t ~core:server_core ~src:ep.server ~dst:client reply)
   in
   Kernel.send_ipi k ~from_core:server_core ~to_core:core;
   bd.Breakdown.ipi <- bd.Breakdown.ipi + Costs.ipi;
@@ -269,6 +297,10 @@ let call t ~core ~client ep msg =
   ep.calls <- ep.calls + 1;
   let cost = costs t in
   let local = ep.cores = [] || List.mem core ep.cores in
+  (* The roundtrip span feeds the per-kernel latency histogram
+     ("<kernel>.roundtrip") read by `skybench trace`. *)
+  Sky_trace.Trace.span ~core ~cat:"ipc" (variant_slug t ^ ".roundtrip")
+  @@ fun () ->
   if local then begin
     let fast =
       cost.Costs_table.has_fastpath && Bytes.length msg <= register_msg_limit

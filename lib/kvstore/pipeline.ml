@@ -245,6 +245,10 @@ let run t ~core ~ops ~len =
   let cpu = Kernel.cpu t.kernel ~core in
   let start = Cpu.cycles cpu in
   for i = 1 to ops do
-    if i land 1 = 0 then query t ~core ~len else insert t ~core ~len
+    let t0 = Cpu.cycles cpu in
+    if i land 1 = 0 then query t ~core ~len else insert t ~core ~len;
+    Sky_trace.Trace.record_latency
+      (Printf.sprintf "kv.%s.op" (config_name t.config))
+      (Cpu.cycles cpu - t0)
   done;
   (Cpu.cycles cpu - start) / ops

@@ -44,11 +44,14 @@ let asid t =
   eptp_part lor t.pcid
 
 let write_cr3 t ~cr3 ~pcid =
+  let core = Sky_sim.Cpu.id t.cpu in
+  Sky_trace.Trace.span ~core ~cat:"ctx" "cr3_write" @@ fun () ->
   Sky_sim.Cpu.charge t.cpu Sky_sim.Costs.cr3_write;
   Sky_sim.Pmu.count (Sky_sim.Cpu.pmu t.cpu) Sky_sim.Pmu.Cr3_write;
   t.cr3 <- cr3;
   t.pcid <- (if t.pcid_enabled then pcid else 0);
   if not t.pcid_enabled then begin
+    Sky_trace.Trace.instant ~core ~cat:"ctx" "tlb.flush";
     Sky_sim.Tlb.flush_all (Sky_sim.Cpu.itlb t.cpu);
     Sky_sim.Tlb.flush_all (Sky_sim.Cpu.dtlb t.cpu)
   end

@@ -10,6 +10,8 @@ exception Invalid_vmfunc of { func : int; index : int }
 
 let execute vcpu ~func ~index =
   let cpu = Vcpu.cpu vcpu in
+  let core = Sky_sim.Cpu.id cpu in
+  Sky_trace.Trace.span ~core ~cat:"vmfunc" "vmfunc" @@ fun () ->
   Sky_sim.Cpu.charge cpu Sky_sim.Costs.vmfunc;
   Sky_sim.Pmu.count (Sky_sim.Cpu.pmu cpu) Sky_sim.Pmu.Vmfunc_exec;
   let vmcs = Vcpu.vmcs_exn vcpu in
@@ -21,11 +23,13 @@ let execute vcpu ~func ~index =
   then begin
     Vmcs.record_exit vmcs Vmcs.Exit_invalid_vmfunc;
     Sky_sim.Pmu.count (Sky_sim.Cpu.pmu cpu) Sky_sim.Pmu.Vm_exit;
+    Sky_trace.Trace.instant ~core ~cat:"vmexit" "vmexit.invalid_vmfunc";
     raise (Invalid_vmfunc { func; index })
   end;
   vmcs.Vmcs.current_index <- index;
   if not vmcs.Vmcs.vpid_enabled then begin
     (* Without VPID the EPTP switch invalidates combined mappings. *)
+    Sky_trace.Trace.instant ~core ~cat:"vmfunc" "tlb.flush";
     Sky_sim.Tlb.flush_all (Sky_sim.Cpu.itlb cpu);
     Sky_sim.Tlb.flush_all (Sky_sim.Cpu.dtlb cpu)
   end

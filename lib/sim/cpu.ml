@@ -37,7 +37,11 @@ let cycles t = t.tsc
 
 let charge t c =
   assert (c >= 0);
-  t.tsc <- t.tsc + c
+  t.tsc <- t.tsc + c;
+  (* Attribute the charged cycles to the innermost open trace span's
+     category. Recording reads the clock but never advances it, so cycle
+     counts are identical with tracing on or off. *)
+  if Sky_trace.Trace.is_enabled () then Sky_trace.Trace.on_charge ~core:t.id c
 
 let advance_to t c = if c > t.tsc then t.tsc <- c
 let l1i t = t.l1i
@@ -77,6 +81,7 @@ let reset_stats t =
   Pmu.reset t.pmu
 
 let flush_all t =
+  Sky_trace.Trace.instant ~core:t.id ~cat:"ctx" "cpu.flush_all";
   Cache.flush t.l1i;
   Cache.flush t.l1d;
   Cache.flush t.l2;

@@ -13,12 +13,21 @@ let create ?(cores = 8) ?(mem_mib = 256) () =
   let l3 =
     Cache.create ~name:"l3" ~size_bytes:(8 * 1024 * 1024) ~ways:16 ~line_bytes:64
   in
-  {
-    mem;
-    alloc = Sky_mem.Frame_alloc.create mem;
-    cores = Array.init cores (fun id -> Cpu.create ~id ~l3);
-    l3;
-  }
+  let t =
+    {
+      mem;
+      alloc = Sky_mem.Frame_alloc.create mem;
+      cores = Array.init cores (fun id -> Cpu.create ~id ~l3);
+      l3;
+    }
+  in
+  (* Tracing is keyed on simulated cycles: point the tracer's clock at
+     this machine's per-core TSCs. Experiments build machines one at a
+     time, so the latest machine owns the clock. *)
+  Sky_trace.Trace.set_clock (fun core ->
+      if core >= 0 && core < Array.length t.cores then Cpu.cycles t.cores.(core)
+      else 0);
+  t
 
 let core t i = t.cores.(i)
 let n_cores t = Array.length t.cores

@@ -1,0 +1,11 @@
+(** Folded-stack exporter: one "path;to;frame <self-cycles>" line per
+    distinct span stack, the input format of Brendan Gregg's
+    [flamegraph.pl] and of speedscope's "folded" importer. *)
+
+let export () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, self) ->
+      if self > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" path self))
+    (Trace.folded ());
+  Buffer.contents buf

@@ -1,0 +1,214 @@
+(** Cycle-accurate event tracer.
+
+    Per-core bounded ring buffers of spans/instants keyed on *simulated*
+    cycles (never wall clock): the clock is installed by
+    {!Sky_sim.Machine.create} and reads the core's TSC. Recording never
+    charges cycles, so enabling tracing cannot perturb a measurement —
+    cycle counts are identical with tracing on or off (asserted in
+    [test/test_trace.ml]).
+
+    Alongside the raw event ring the tracer maintains three O(1)-update
+    aggregates so exports survive ring overflow:
+    - per-category cycle attribution ({!on_charge} hooks {!Sky_sim.Cpu.charge}
+      and bills the innermost open span's category),
+    - a latency {!Histogram} per span name,
+    - folded call-stack self-cycles for flamegraphs. *)
+
+type ev = {
+  name : string;
+  cat : string;
+  core : int;
+  ts : int;  (** simulated cycles at event start *)
+  dur : int;  (** span duration in cycles; -1 for an instant *)
+}
+
+let is_span e = e.dur >= 0
+
+type ring = {
+  mutable buf : ev array;
+  mutable filled : int;  (** number of valid entries *)
+  mutable next : int;  (** next write position *)
+  mutable dropped : int;  (** events overwritten after wrap *)
+}
+
+(* An open span on a core's stack. [path] is the ";"-joined ancestry used
+   for folded-stack output; [child] accumulates completed child spans'
+   cycles so self-time = dur - child. *)
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_path : string;
+  f_ts : int;
+  mutable f_child : int;
+}
+
+let max_cores = 128
+let default_capacity = 1 lsl 16
+
+let enabled = ref false
+let capacity = ref default_capacity
+let clock : (int -> int) ref = ref (fun _ -> 0)
+let rings : ring option array = Array.make max_cores None
+let stacks : frame list array = Array.make max_cores []
+let cat_cycles : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+let folded_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let is_enabled () = !enabled
+let set_clock f = clock := f
+let now ~core = !clock core
+
+let clear () =
+  Array.fill rings 0 max_cores None;
+  Array.fill stacks 0 max_cores [];
+  Hashtbl.reset cat_cycles;
+  Hashtbl.reset hists;
+  Hashtbl.reset folded_tbl
+
+let enable ?ring_capacity () =
+  clear ();
+  (match ring_capacity with
+  | Some c when c > 0 -> capacity := c
+  | Some _ -> invalid_arg "Trace.enable: ring_capacity <= 0"
+  | None -> capacity := default_capacity);
+  enabled := true
+
+let disable () = enabled := false
+
+let ring_for core =
+  match rings.(core) with
+  | Some r -> r
+  | None ->
+    let r = { buf = [||]; filled = 0; next = 0; dropped = 0 } in
+    rings.(core) <- Some r;
+    r
+
+let push_ev core e =
+  if core >= 0 && core < max_cores then begin
+    let r = ring_for core in
+    if Array.length r.buf = 0 then r.buf <- Array.make !capacity e;
+    if r.filled >= Array.length r.buf then r.dropped <- r.dropped + 1
+    else r.filled <- r.filled + 1;
+    r.buf.(r.next) <- e;
+    r.next <- (r.next + 1) mod Array.length r.buf
+  end
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl key (ref n)
+
+let hist_for name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.replace hists name h;
+    h
+
+(* ------------------------------------------------------------------ *)
+(* Recording API                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let instant ~core ?(cat = "") name =
+  if !enabled && core >= 0 && core < max_cores then
+    push_ev core { name; cat; core; ts = now ~core; dur = -1 }
+
+(* A span recorded from explicit timestamps — for call sites whose begin
+   and end are separated by early-exit paths (e.g. Subkernel calls). *)
+let emit_span ~core ~cat name ~ts ~dur =
+  if !enabled && core >= 0 && core < max_cores then begin
+    push_ev core { name; cat; core; ts; dur };
+    Histogram.add (hist_for name) dur;
+    bump folded_tbl name dur
+  end
+
+let span ~core ~cat name f =
+  if (not !enabled) || core < 0 || core >= max_cores then f ()
+  else begin
+    let ts0 = now ~core in
+    let path =
+      match stacks.(core) with
+      | parent :: _ -> parent.f_path ^ ";" ^ name
+      | [] -> name
+    in
+    let fr = { f_name = name; f_cat = cat; f_path = path; f_ts = ts0; f_child = 0 } in
+    stacks.(core) <- fr :: stacks.(core);
+    let finish () =
+      (match stacks.(core) with
+      | top :: rest when top == fr -> stacks.(core) <- rest
+      | _ ->
+        (* Unbalanced pop (an inner span escaped via an exception we did
+           not see): drop frames down to ours. *)
+        let rec unwind = function
+          | top :: rest -> if top == fr then rest else unwind rest
+          | [] -> []
+        in
+        stacks.(core) <- unwind stacks.(core));
+      let dur = now ~core - fr.f_ts in
+      (match stacks.(core) with
+      | parent :: _ -> parent.f_child <- parent.f_child + dur
+      | [] -> ());
+      bump folded_tbl fr.f_path (max 0 (dur - fr.f_child));
+      Histogram.add (hist_for fr.f_name) dur;
+      push_ev core { name = fr.f_name; cat = fr.f_cat; core; ts = fr.f_ts; dur }
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* Called by {!Sky_sim.Cpu.charge}: bill [c] cycles to the category of
+   the innermost open span on [core]. *)
+let on_charge ~core c =
+  if !enabled && core >= 0 && core < max_cores then
+    let cat =
+      match stacks.(core) with fr :: _ -> fr.f_cat | [] -> "untracked"
+    in
+    bump cat_cycles cat c
+
+(* Feed a named histogram directly (per-workload-op latencies that are
+   not spans). *)
+let record_latency name v = if !enabled then Histogram.add (hist_for name) v
+
+(* ------------------------------------------------------------------ *)
+(* Readout                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let events () =
+  let acc = ref [] in
+  for core = max_cores - 1 downto 0 do
+    match rings.(core) with
+    | None -> ()
+    | Some r ->
+      let len = Array.length r.buf in
+      (* Oldest-first: the ring wraps at [next]. *)
+      for i = r.filled downto 1 do
+        let idx = (r.next - i + (2 * len)) mod len in
+        acc := r.buf.(idx) :: !acc
+      done
+  done;
+  List.sort (fun a b -> if a.ts <> b.ts then compare a.ts b.ts else compare a.core b.core) !acc
+
+let dropped () =
+  Array.fold_left
+    (fun acc -> function Some r -> acc + r.dropped | None -> acc)
+    0 rings
+
+let categories () =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) cat_cycles []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let histograms () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hists []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram name = Hashtbl.find_opt hists name
+
+let folded () =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) folded_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

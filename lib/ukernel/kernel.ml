@@ -150,12 +150,12 @@ let context_switch t ~core to_proc =
     | Some p -> p.Proc.pid = to_proc.Proc.pid
     | None -> false
   in
-  if not same then begin
+  if not same then
+    Sky_trace.Trace.span ~core ~cat:"ctx" "context_switch" @@ fun () ->
     let v = t.vcpus.(core) in
     Vcpu.write_cr3 v ~cr3:(Proc.cr3 to_proc) ~pcid:to_proc.Proc.pid;
     t.running.(core) <- Some to_proc;
     List.iter (fun f -> f t ~core to_proc) t.on_context_switch
-  end
 
 let touch_kernel_text t ~core ~bytes ~off =
   Memsys.touch_range_state_only (cpu t ~core) Memsys.Insn
@@ -174,6 +174,7 @@ let kpti_switch t ~core =
   Vcpu.write_cr3 v ~cr3:v.Vcpu.cr3 ~pcid:v.Vcpu.pcid
 
 let kernel_entry t ~core =
+  Sky_trace.Trace.span ~core ~cat:"syscall" "kernel_entry" @@ fun () ->
   let c = cpu t ~core in
   Cpu.charge c (Costs.syscall + Costs.swapgs);
   Pmu.count (Cpu.pmu c) Pmu.Syscall_exec;
@@ -183,15 +184,18 @@ let kernel_entry t ~core =
   touch_kernel_data t ~core ~bytes:256 ~off:0
 
 let kernel_exit t ~core =
+  Sky_trace.Trace.span ~core ~cat:"syscall" "kernel_exit" @@ fun () ->
   let c = cpu t ~core in
   Cpu.charge c (Costs.swapgs + Costs.sysret);
   if t.config.Config.kpti then kpti_switch t ~core;
   Vcpu.set_mode t.vcpus.(core) Vcpu.User
 
 let send_ipi t ~from_core ~to_core =
+  Sky_trace.Trace.span ~core:from_core ~cat:"ipi" "ipi" @@ fun () ->
   let src = cpu t ~core:from_core in
   Cpu.charge src Costs.ipi;
   Pmu.count (Cpu.pmu src) Pmu.Ipi_sent;
+  Sky_trace.Trace.instant ~core:to_core ~cat:"ipi" "ipi.delivered";
   (* Delivery: the target observes the interrupt no earlier than the
      sender's send time. *)
   Cpu.advance_to (cpu t ~core:to_core) (Cpu.cycles src)

@@ -32,10 +32,16 @@ let load t ~core =
   done
 
 let one_op t zipf ~core ~read =
+  let cpu = Sky_sim.Machine.core t.kernel.Sky_ukernel.Kernel.machine core in
+  let t0 = Sky_sim.Cpu.cycles cpu in
   let key = Zipf.next zipf in
-  if read then ignore (Sky_sqldb.Db.query t.db ~core ~key)
-  else Sky_sqldb.Db.update t.db ~core ~key ~value:(Sky_sim.Rng.bytes t.rng t.value_size)
-  |> ignore
+  (if read then ignore (Sky_sqldb.Db.query t.db ~core ~key)
+   else
+     Sky_sqldb.Db.update t.db ~core ~key ~value:(Sky_sim.Rng.bytes t.rng t.value_size)
+     |> ignore);
+  Sky_trace.Trace.record_latency
+    (if read then "ycsb.read" else "ycsb.update")
+    (Sky_sim.Cpu.cycles cpu - t0)
 
 (* Run [ops_per_thread] on each of [threads] client threads (thread i on
    core i), interleaving in virtual time. Returns throughput in ops/s

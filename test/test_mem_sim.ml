@@ -329,6 +329,45 @@ let prop_rng_float_range =
       let f = Rng.float r in
       f >= 0.0 && f < 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Pmu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let all_events =
+  [
+    Pmu.Ipi_sent; Pmu.Vm_exit; Pmu.Vmfunc_exec; Pmu.Syscall_exec;
+    Pmu.Cr3_write; Pmu.Ipc_roundtrip; Pmu.Instruction;
+  ]
+
+let test_pmu_roundtrip () =
+  let p = Pmu.create () in
+  List.iter
+    (fun ev -> Alcotest.(check int) "fresh is zero" 0 (Pmu.read p ev))
+    all_events;
+  Pmu.count p Pmu.Vmfunc_exec;
+  Pmu.count p Pmu.Vmfunc_exec;
+  Pmu.add p Pmu.Vmfunc_exec 40;
+  Alcotest.(check int) "count + add accumulate" 42 (Pmu.read p Pmu.Vmfunc_exec)
+
+let test_pmu_independent () =
+  let p = Pmu.create () in
+  List.iteri (fun i ev -> Pmu.add p ev (i + 1)) all_events;
+  List.iteri
+    (fun i ev ->
+      Alcotest.(check int) (Pmu.name ev) (i + 1) (Pmu.read p ev))
+    all_events;
+  (* Two PMUs never share counters. *)
+  let q = Pmu.create () in
+  Alcotest.(check int) "fresh pmu untouched" 0 (Pmu.read q Pmu.Ipi_sent)
+
+let test_pmu_reset () =
+  let p = Pmu.create () in
+  List.iter (fun ev -> Pmu.add p ev 7) all_events;
+  Pmu.reset p;
+  List.iter
+    (fun ev -> Alcotest.(check int) "zero after reset" 0 (Pmu.read p ev))
+    all_events
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "mem_sim"
@@ -375,6 +414,12 @@ let () =
           Alcotest.test_case "memsys latencies" `Quick test_memsys_latencies;
           Alcotest.test_case "L2 backstop" `Quick test_memsys_l2_fill;
           Alcotest.test_case "footprint counters" `Quick test_footprint_counters;
+        ] );
+      ( "pmu",
+        [
+          Alcotest.test_case "count/add/read roundtrip" `Quick test_pmu_roundtrip;
+          Alcotest.test_case "events independent" `Quick test_pmu_independent;
+          Alcotest.test_case "reset" `Quick test_pmu_reset;
         ] );
       ( "rng",
         [
