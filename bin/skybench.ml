@@ -127,6 +127,50 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id $ out $ folded)
 
+let audit_cmd =
+  let doc =
+    "Statically audit SkyBridge's security invariants: boot each kernel \
+     personality, register a client/server/dependency topology (including \
+     a client shipping C1/C2/C3 VMFUNC encodings), run traffic, then \
+     verify no VMFUNC gadget survives outside the trampoline, EPT and \
+     guest page tables are W^X with an execute-only trampoline, EPTP-list \
+     slots are valid, and the trampoline code abstract-interprets \
+     correctly. Exit code 0 iff every invariant holds."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit violations as JSON.")
+  in
+  let run json =
+    let scenarios = Sky_experiments.Exp_audit.scenarios () in
+    let total =
+      List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 scenarios
+    in
+    if json then begin
+      let scenario_json (name, vs) =
+        Printf.sprintf "{\"scenario\":\"%s\",\"ok\":%b,\"violations\":%s}" name
+          (vs = [])
+          (Sky_analysis.Report.list_to_json vs)
+      in
+      Printf.printf "{\"ok\":%b,\"scenarios\":[%s]}\n" (total = 0)
+        (String.concat "," (List.map scenario_json scenarios))
+    end
+    else
+      List.iter
+        (fun (name, vs) ->
+          match vs with
+          | [] -> Printf.printf "scenario %-8s OK (0 violations)\n" name
+          | vs ->
+            Printf.printf "scenario %-8s FAIL (%d violations)\n" name
+              (List.length vs);
+            List.iter
+              (fun v ->
+                Printf.printf "  %s\n" (Sky_analysis.Report.to_string v))
+              vs)
+        scenarios;
+    if total > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json)
+
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
   let run () =
@@ -144,4 +188,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "skybench" ~doc ~version:"1.0")
-          [ list_cmd; run_cmd; md_cmd; trace_cmd ]))
+          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd ]))

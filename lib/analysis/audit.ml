@@ -1,0 +1,27 @@
+(** Orchestration of the three auditors.
+
+    The inputs are plain data (bytes, roots, VMCSes) rather than
+    Subkernel values so the library stays below [sky_core] in the
+    dependency order; {!Sky_core.Subkernel.audit} assembles the inputs
+    from a live machine and the CLI ([skybench audit]) formats the
+    result. *)
+
+type input = {
+  images : Gadget.image list;
+  machine : Ept_check.input option;
+  trampolines : (string * bytes) list;
+      (** trampoline page bytes as read from the shared physical frame *)
+}
+
+let run inp =
+  let image_vs = List.concat_map Gadget.audit inp.images in
+  let tramp_vs =
+    List.concat_map (fun (image, code) -> Tramp_check.check ~image code)
+      inp.trampolines
+  in
+  let machine_vs =
+    match inp.machine with None -> [] | Some m -> Ept_check.check m
+  in
+  Report.sort (image_vs @ tramp_vs @ machine_vs)
+
+let ok vs = vs = []

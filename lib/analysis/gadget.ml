@@ -1,0 +1,133 @@
+(** Whole-image VMFUNC gadget auditor (§3.3, §5; ERIM-style verification).
+
+    The rewriter eliminates [0F 01 D4] from code pages; this module
+    independently {e proves} the result, without sharing the rewriter's
+    fixpoint logic, using three overlapping detectors:
+
+    - a raw byte scan, page by page with a carried 2-byte overlap, so the
+      pattern cannot hide across a page boundary ([gadget.vmfunc-pattern]);
+    - a self-repairing linear sweep that decodes from {e every byte
+      offset} of the image, catching VMFUNCs reachable through misaligned
+      or overlapping instruction encodings the aligned decoder never sees
+      ([gadget.misaligned-vmfunc]);
+    - recursive descent from the image's entry points, following
+      fall-through and branch targets ([gadget.reachable-vmfunc]).
+
+    Bytes the decoder has no semantics for are reported as unverifiable
+    ([gadget.unverifiable]) rather than silently trusted. *)
+
+open Sky_isa
+
+type image = {
+  name : string;
+  va : int;  (** base virtual address (reports offset image-relative) *)
+  bytes : bytes;
+  allowed : (int * int) list;
+      (** [(offset, length)] ranges where VMFUNC is legal — the
+          trampoline's two crossings, empty for ordinary code *)
+  entries : int list;  (** entry offsets for recursive descent *)
+}
+
+let image ?(va = 0) ?(allowed = []) ?(entries = [ 0 ]) ~name bytes =
+  { name; va; bytes; allowed; entries }
+
+let in_allowed allowed at =
+  List.exists (fun (off, len) -> at >= off && at < off + len) allowed
+
+(* Offset of the raw [0F 01 D4] bytes inside a decoded VMFUNC (prefixed
+   encodings put them after the prefixes/REX). *)
+let pattern_off (d : Decode.decoded) = d.Decode.off + d.Decode.layout.Encode.opcode_off
+
+(* Every offset where decoding yields a VMFUNC instruction — the
+   misaligned-execution view of the image. *)
+let sweep_every_offset code =
+  let n = Bytes.length code in
+  let hits = ref [] in
+  for off = n - 1 downto 0 do
+    let d = Decode.decode_one code off in
+    if d.Decode.insn = Some Insn.Vmfunc then hits := d :: !hits
+  done;
+  !hits
+
+(* Aligned instruction-start offsets, for classifying a sweep hit as
+   misaligned. *)
+let aligned_starts code =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Decode.decoded) -> Hashtbl.replace tbl d.Decode.off ())
+    (Decode.decode_all code);
+  tbl
+
+(* Recursive descent from the entry points: follow fall-through, branch
+   and call targets inside the image; stop at RET, out-of-image targets
+   and undecodable bytes. *)
+let reachable_vmfuncs code ~entries =
+  let n = Bytes.length code in
+  let visited = Hashtbl.create 256 in
+  let hits = ref [] in
+  let rec go off =
+    if off >= 0 && off < n && not (Hashtbl.mem visited off) then begin
+      Hashtbl.replace visited off ();
+      let d = Decode.decode_one code off in
+      let next = off + d.Decode.len in
+      match d.Decode.insn with
+      | None -> ()  (* unverifiable bytes are reported separately *)
+      | Some Insn.Vmfunc ->
+        hits := d :: !hits;
+        go next
+      | Some Insn.Ret -> ()
+      | Some (Insn.Jmp_rel rel) -> go (next + rel)
+      | Some (Insn.Jcc (_, rel)) ->
+        go (next + rel);
+        go next
+      | Some (Insn.Call_rel rel) ->
+        go (next + rel);
+        go next
+      | Some _ -> go next
+    end
+  in
+  List.iter go entries;
+  List.sort (fun a b -> compare a.Decode.off b.Decode.off) !hits
+
+let audit img =
+  let vs = ref [] in
+  let add ?addr invariant detail =
+    vs := Report.v ?addr ~invariant ~image:img.name detail :: !vs
+  in
+  (* 1. Raw pattern scan, paged with boundary carry. *)
+  List.iter
+    (fun at ->
+      if not (in_allowed img.allowed at) then
+        add ~addr:at "gadget.vmfunc-pattern"
+          (Printf.sprintf "0F 01 D4 at va %#x" (img.va + at)))
+    (Sky_rewriter.Scan.find_pattern_paged img.bytes);
+  (* 2. Every-offset self-repairing sweep. *)
+  let aligned = aligned_starts img.bytes in
+  List.iter
+    (fun d ->
+      let pat = pattern_off d in
+      if not (in_allowed img.allowed pat) then
+        if not (Hashtbl.mem aligned d.Decode.off) then
+          add ~addr:d.Decode.off "gadget.misaligned-vmfunc"
+            (Printf.sprintf
+               "vmfunc decodes at misaligned offset (va %#x, pattern at %#x)"
+               (img.va + d.Decode.off) (img.va + pat)))
+    (sweep_every_offset img.bytes);
+  (* 3. Recursive descent from the entry points. *)
+  List.iter
+    (fun d ->
+      let pat = pattern_off d in
+      if not (in_allowed img.allowed pat) then
+        add ~addr:d.Decode.off "gadget.reachable-vmfunc"
+          (Printf.sprintf "vmfunc reachable from entry (va %#x)"
+             (img.va + d.Decode.off)))
+    (reachable_vmfuncs img.bytes ~entries:img.entries);
+  (* 4. Undecodable regions are unverifiable, not trusted. *)
+  List.iter
+    (fun (off, len) ->
+      add ~addr:off "gadget.unverifiable"
+        (Printf.sprintf "%d undecodable byte%s at va %#x" len
+           (if len = 1 then "" else "s")
+           (img.va + off)))
+    (Decode.unknown_spans img.bytes);
+  Report.sort !vs

@@ -1,0 +1,62 @@
+(** Structured violation reports for the static security auditor.
+
+    Every check in {!Gadget}, {!Ept_check} and {!Tramp_check} names the
+    invariant it enforces with a stable dotted identifier (the mutation
+    tests and the CI gate match on these names):
+
+    - [gadget.*] — VMFUNC encodings outside the trampoline (§3.3, §5)
+    - [ept.*] — EPT shape: W^X, execute-only trampoline, EPTP slots
+      (§4.1, §4.3)
+    - [pt.*] — guest page-table W^X and trampoline protection (§9)
+    - [trampoline.*] — abstract-interpretation facts about the
+      trampoline code itself (§4.4) *)
+
+type violation = {
+  invariant : string;  (** stable dotted name, e.g. ["ept.wx"] *)
+  image : string;  (** process / EPT / page-table the fault is in *)
+  addr : int option;  (** byte offset, VA or GPA, as fits the invariant *)
+  detail : string;
+}
+
+let v ?addr ~invariant ~image detail = { invariant; image; addr; detail }
+
+let to_string r =
+  Printf.sprintf "[%s] %s%s: %s" r.invariant r.image
+    (match r.addr with Some a -> Printf.sprintf " @ %#x" a | None -> "")
+    r.detail
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+let has ~invariant vs = List.exists (fun r -> r.invariant = invariant) vs
+
+(* Deterministic report order regardless of hash-table iteration order in
+   the callers. *)
+let sort vs =
+  List.sort_uniq
+    (fun a b ->
+      compare (a.invariant, a.image, a.addr, a.detail)
+        (b.invariant, b.image, b.addr, b.detail))
+    vs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json r =
+  Printf.sprintf "{\"invariant\":\"%s\",\"image\":\"%s\",\"addr\":%s,\"detail\":\"%s\"}"
+    (json_escape r.invariant) (json_escape r.image)
+    (match r.addr with Some a -> string_of_int a | None -> "null")
+    (json_escape r.detail)
+
+let list_to_json vs =
+  "[" ^ String.concat "," (List.map to_json vs) ^ "]"

@@ -1,0 +1,185 @@
+(** Abstract interpretation of the trampoline code (§4.4).
+
+    The trampoline is the only page carrying legal VMFUNCs, so its
+    correctness is load-bearing for the whole design. This module checks
+    the {e bytes} of the page (as found in the shared physical frame, not
+    the pristine constant) symbolically, over {!Sky_isa.Insn}:
+
+    - [trampoline.vmfunc-index-flow] — the EPTP index the caller passed
+      in RDI flows into RCX before the entry VMFUNC, and RAX is 0
+      (EPTP-switching is VM function 0);
+    - [trampoline.vmfunc-pairing] — VMFUNCs come in pairs on every path:
+      the entry switch (index from RDI) followed by the return switch
+      back to the slot the call entered from (RCX = 0, the client slot);
+    - [trampoline.callee-saved] — RBX, RBP, R12–R15 hold their entry
+      values again at every RET;
+    - [trampoline.rsp-restored] — RSP equals its entry value at every RET;
+
+    plus structural facts: the code must reach a RET
+    ([trampoline.no-ret]), must not contain bytes the decoder cannot
+    verify ([trampoline.undecodable]) and must not fall off the end or
+    run unboundedly ([trampoline.diverges]).
+
+    The handler invocation ([Call_rel]) is modelled with the System V
+    ABI: caller-saved registers are havocked, callee-saved registers and
+    RSP are preserved. That assumption is exactly what registration
+    enforces on handlers, and it is the contract the trampoline relies
+    on in the real system. Conditional branches explore both arms, so
+    the register/stack facts hold on {e all} paths. *)
+
+open Sky_isa
+
+(* Abstract value: unknown, a known constant, the entry value of a
+   register, or RSP displaced from its entry value by a known number of
+   bytes. *)
+type av = Top | Const of int64 | Init of Reg.t | Sp of int
+
+let av_equal a b =
+  match (a, b) with
+  | Const x, Const y -> Int64.equal x y
+  | Init r, Init s -> Reg.equal r s
+  | Sp n, Sp m -> n = m
+  | Top, Top -> true
+  | _ -> false
+
+type state = {
+  regs : av array;  (** indexed by {!Reg.encoding} *)
+  stack : (int * av) list;  (** [depth below entry RSP -> value] *)
+  vmfuncs : (av * av) list;  (** (RAX, RCX) at each VMFUNC, in order *)
+}
+
+let get st r = st.regs.(Reg.encoding r)
+
+let set st r v =
+  let regs = Array.copy st.regs in
+  regs.(Reg.encoding r) <- v;
+  { st with regs }
+
+let callee_saved = [ Reg.Rbx; Reg.Rbp; Reg.R12; Reg.R13; Reg.R14; Reg.R15 ]
+
+let caller_saved =
+  [ Reg.Rax; Reg.Rcx; Reg.Rdx; Reg.Rsi; Reg.Rdi; Reg.R8; Reg.R9; Reg.R10;
+    Reg.R11 ]
+
+let initial_state () =
+  let regs =
+    Array.init 16 (fun i ->
+        let r = Reg.of_encoding i in
+        if Reg.equal r Reg.Rsp then Sp 0 else Init r)
+  in
+  { regs; stack = []; vmfuncs = [] }
+
+(* Paths through straight-line trampoline code are short; the fuel bound
+   only exists to terminate on adversarial (looping) input. *)
+let max_steps = 4096
+
+let check ?(image = "trampoline") code =
+  let vs = ref [] in
+  let add ?addr invariant detail =
+    vs := Report.v ?addr ~invariant ~image detail :: !vs
+  in
+  let rets = ref 0 in
+  let at_ret off st =
+    incr rets;
+    (match get st Reg.Rsp with
+    | Sp 0 -> ()
+    | _ ->
+      add ~addr:off "trampoline.rsp-restored"
+        "RSP does not equal its entry value at RET");
+    List.iter
+      (fun r ->
+        if not (av_equal (get st r) (Init r)) then
+          add ~addr:off "trampoline.callee-saved"
+            (Printf.sprintf "%s not restored at RET" (Reg.name r)))
+      callee_saved;
+    let pairs = List.rev st.vmfuncs in
+    if List.length pairs = 0 then
+      add ~addr:off "trampoline.vmfunc-pairing" "path executes no VMFUNC"
+    else if List.length pairs mod 2 <> 0 then
+      add ~addr:off "trampoline.vmfunc-pairing"
+        (Printf.sprintf "path executes %d VMFUNCs (must pair entry/return)"
+           (List.length pairs));
+    List.iteri
+      (fun i (rax, rcx) ->
+        if not (av_equal rax (Const 0L)) then
+          add ~addr:off "trampoline.vmfunc-index-flow"
+            (Printf.sprintf "VMFUNC #%d: RAX is not 0 (EPTP switching)" i);
+        if i mod 2 = 0 then begin
+          if not (av_equal rcx (Init Reg.Rdi)) then
+            add ~addr:off "trampoline.vmfunc-index-flow"
+              (Printf.sprintf
+                 "VMFUNC #%d: RCX does not carry the EPTP index from RDI" i)
+        end
+        else if not (av_equal rcx (Const 0L)) then
+          add ~addr:off "trampoline.vmfunc-pairing"
+            (Printf.sprintf "VMFUNC #%d: return switch RCX is not 0" i))
+      pairs
+  in
+  let n = Bytes.length code in
+  let rec step off st fuel =
+    if fuel <= 0 then add ~addr:off "trampoline.diverges" "step bound exceeded"
+    else if off < 0 || off >= n then
+      add ~addr:off "trampoline.diverges" "execution leaves the trampoline page"
+    else begin
+      let d = Decode.decode_one code off in
+      let next = off + d.Decode.len in
+      let continue st = step next st (fuel - 1) in
+      match d.Decode.insn with
+      | None ->
+        add ~addr:off "trampoline.undecodable"
+          (Printf.sprintf "%d unverifiable byte(s)" d.Decode.len)
+      | Some insn -> (
+        match insn with
+        | Insn.Ret -> at_ret off st
+        | Insn.Vmfunc ->
+          continue
+            { st with vmfuncs = (get st Reg.Rax, get st Reg.Rcx) :: st.vmfuncs }
+        | Insn.Push r -> (
+          match get st Reg.Rsp with
+          | Sp depth ->
+            let depth = depth + 8 in
+            let st = set st Reg.Rsp (Sp depth) in
+            continue { st with stack = (depth, get st r) :: st.stack }
+          | _ -> continue (set st r Top))
+        | Insn.Pop r -> (
+          match get st Reg.Rsp with
+          | Sp depth when depth >= 8 ->
+            let v =
+              match List.assoc_opt depth st.stack with
+              | Some v -> v
+              | None -> Top
+            in
+            let st = set st r v in
+            continue (set st Reg.Rsp (Sp (depth - 8)))
+          | Sp _ ->
+            add ~addr:off "trampoline.rsp-restored"
+              "POP underflows the entry stack frame"
+          | _ -> continue (set st r Top))
+        | Insn.Mov_rr (dst, src) -> continue (set st dst (get st src))
+        | Insn.Mov_ri (dst, imm) -> continue (set st dst (Const imm))
+        | Insn.Mov_load (dst, _) -> continue (set st dst Top)
+        | Insn.Mov_store (_, _) -> continue st
+        | Insn.Call_rel _ ->
+          (* Handler call: System V ABI — caller-saved havocked,
+             callee-saved and RSP preserved. *)
+          continue (List.fold_left (fun st r -> set st r Top) st caller_saved)
+        | Insn.Jmp_rel rel -> step (next + rel) st (fuel - 1)
+        | Insn.Jcc (_, rel) ->
+          step (next + rel) st (fuel - 1);
+          continue st
+        | Insn.Xor_rr (dst, src) when Reg.equal dst src ->
+          continue (set st dst (Const 0L))
+        | Insn.Syscall | Insn.Cpuid ->
+          add ~addr:off "trampoline.unexpected-insn"
+            "trampoline must not enter the kernel"
+        | insn ->
+          (* Anything else conservatively havocks what it writes. *)
+          continue
+            (List.fold_left (fun st r -> set st r Top) st
+               (Insn.regs_written insn)))
+    end
+  in
+  step 0 (initial_state ()) max_steps;
+  if !rets = 0 && !vs = [] then
+    add "trampoline.no-ret" "no path reaches RET";
+  Report.sort !vs

@@ -94,19 +94,29 @@ let vmcall t ~core f =
   record t ~core Vmcs.Exit_vmcall vmcall_cost;
   f ()
 
+(* Permissions for the non-identity mappings SkyBridge installs on top of
+   the base EPT (EPT reading: bit 1 write, bit 2 execute). The identity
+   page is read-only data; the remapped CR3 frame is a page table the
+   guest walker reads and the guest kernel writes; neither may be
+   executable — the W^X auditor ([ept.wx]) rejects any remapped leaf that
+   is writable+executable. *)
+let ept_ro = { Sky_mmu.Pte.absent with Sky_mmu.Pte.present = true }
+let ept_rw = { ept_ro with Sky_mmu.Pte.writable = true }
+
 let new_process_ept t proc =
   let mem = Kernel.mem t.kernel and alloc = Kernel.alloc t.kernel in
   let ept = Ept.clone_shallow t.base_ept ~mem ~alloc in
-  Ept.map_4k ept ~mem ~alloc ~gpa:Layout.identity_gpa
-    ~hpa:proc.Proc.identity_frame;
+  Ept.map_4k_flags ept ~mem ~alloc ~gpa:Layout.identity_gpa
+    ~hpa:proc.Proc.identity_frame ~flags:ept_ro;
   ept
 
 let bind_ept t ~client ~server =
   let mem = Kernel.mem t.kernel and alloc = Kernel.alloc t.kernel in
   let ept = Ept.clone_shallow t.base_ept ~mem ~alloc in
-  Ept.remap_gpa ept ~mem ~alloc ~gpa:(Proc.cr3 client) ~hpa:(Proc.cr3 server);
-  Ept.map_4k ept ~mem ~alloc ~gpa:Layout.identity_gpa
-    ~hpa:server.Proc.identity_frame;
+  Ept.map_4k_flags ept ~mem ~alloc ~gpa:(Proc.cr3 client)
+    ~hpa:(Proc.cr3 server) ~flags:ept_rw;
+  Ept.map_4k_flags ept ~mem ~alloc ~gpa:Layout.identity_gpa
+    ~hpa:server.Proc.identity_frame ~flags:ept_ro;
   ept
 
 let install_eptp_list t ~core eptps =

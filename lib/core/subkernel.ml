@@ -10,6 +10,8 @@ exception Bad_client_return of { server_id : int }
 exception Call_timeout of { server_id : int; elapsed : int }
 exception Wx_violation of { pid : int; va : int }
 
+exception Audit_failed of Sky_analysis.Report.violation list
+
 let buffer_size = 8192
 let key_table_slots = 64
 
@@ -148,21 +150,58 @@ let rewrite_process t proc =
               (Bytes.length page)
           in
           Kernel.write_code t.kernel proc ~va:rw_va page;
+          (* The snippet page is executable code: record it so audits and
+             W^X flips cover it like any other code region. *)
+          if not (List.mem_assoc rw_va proc.Proc.code) then
+            proc.Proc.code <- (rw_va, Bytes.copy page) :: proc.Proc.code;
           next_page_va :=
             !next_page_va + ((Bytes.length page + 4095) land lnot 4095)
         end
       end)
     (Kernel.proc_code_bytes t.kernel proc)
 
+let trampoline_frame t = t.trampoline_frame
+
+let gadget_images t proc =
+  List.map
+    (fun (va, code) ->
+      Sky_analysis.Gadget.image
+        ~name:(Printf.sprintf "%s[%#x]" proc.Proc.name va)
+        ~va code)
+    (Kernel.proc_code_bytes t.kernel proc)
+
+(* Mandatory post-pass at registration: independently prove the rewrite
+   result before the process gains a trampoline mapping. A process whose
+   executable pages cannot be verified must not join SkyBridge. *)
+let audit_registration t proc =
+  let vs = List.concat_map Sky_analysis.Gadget.audit (gadget_images t proc) in
+  if vs <> [] then begin
+    List.iter (fun v -> security t (Sky_analysis.Report.to_string v)) vs;
+    raise (Audit_failed vs)
+  end
+
+(* The trampoline frame's permissions in a process/binding EPT (EPT
+   reading: bit 1 write, bit 2 execute): executable, never writable — the
+   base EPT's identity RWX huge page would otherwise let a process forge
+   the only legal VMFUNC-bearing page. *)
+let ept_trampoline_flags =
+  { Pte.present = true; writable = false; user = true; huge = false; nx = false }
+
+let harden_trampoline_ept t ept =
+  Ept.map_4k_flags ept ~mem:(Kernel.mem t.kernel) ~alloc:(Kernel.alloc t.kernel)
+    ~gpa:t.trampoline_frame ~hpa:t.trampoline_frame ~flags:ept_trampoline_flags
+
 let ensure_pstate t proc =
   match pstate_opt t proc with
   | Some ps -> ps
   | None ->
     rewrite_process t proc;
+    audit_registration t proc;
     (* Map the shared trampoline page (read-execute). *)
     Kernel.map_frames t.kernel proc ~va:Layout.trampoline_va
       ~pa:t.trampoline_frame ~len:4096 ~flags:Pte.urx;
     let own_ept = Rootkernel.new_process_ept t.root proc in
+    harden_trampoline_ept t own_ept;
     let ps =
       {
         proc;
@@ -251,6 +290,7 @@ let fresh_key t =
 let bind_one t ps ~server_id ~key ~share_with =
   let srv = find_server t server_id in
   let ept = Rootkernel.bind_ept t.root ~client:ps.proc ~server:srv.sproc in
+  harden_trampoline_ept t ept;
   (* Shared buffers, one per server connection, mapped at the same VA in
      every address space of the call chain: the client, the target
      server, and any intermediate servers (which fill the buffer when
@@ -271,7 +311,7 @@ let bind_one t ps ~server_id ~key ~share_with =
         List.iter
           (fun proc ->
             Kernel.map_frames t.kernel proc ~va ~pa ~len:buffer_size
-              ~flags:Pte.urw)
+              ~flags:{ Pte.urw with Pte.nx = true })
           chain;
         va)
   in
@@ -556,3 +596,76 @@ let proc_is_clean t proc =
   List.for_all
     (fun (_va, code) -> Sky_rewriter.Rewrite.clean code)
     (Kernel.proc_code_bytes t.kernel proc)
+
+(* ------------------------------------------------------------------ *)
+(* Static security audit (lib/analysis)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The trampoline page as it currently exists in the shared physical
+   frame — what processes actually execute, which is what the auditor
+   must judge (a corrupted frame with pristine [trampoline_bytes] records
+   would otherwise audit clean). *)
+let live_trampoline t =
+  Phys_mem.read_bytes (Kernel.mem t.kernel) t.trampoline_frame
+    (Bytes.length t.trampoline_bytes)
+
+(* Whole-machine audit: every registered process image, every guest page
+   table, every process/binding EPT, every EPTP list, and the live
+   trampoline bytes. Returns the (sorted) violation list; [] = clean. *)
+let audit t =
+  let mem = Kernel.mem t.kernel in
+  let tramp = live_trampoline t in
+  let allowed = Trampoline.vmfunc_ranges t.trampoline_bytes in
+  let pstates =
+    List.sort
+      (fun a b -> compare a.proc.Proc.pid b.proc.Proc.pid)
+      (Hashtbl.fold (fun _ ps acc -> ps :: acc) t.pstates [])
+  in
+  let images =
+    Sky_analysis.Gadget.image ~name:"trampoline" ~va:Layout.trampoline_va
+      ~allowed tramp
+    :: List.concat_map (fun ps -> gadget_images t ps.proc) pstates
+  in
+  let epts =
+    List.concat_map
+      (fun ps ->
+        (Printf.sprintf "ept:%s" ps.proc.Proc.name, Ept.root_pa ps.own_ept)
+        :: List.map
+             (fun b ->
+               ( Printf.sprintf "ept:%s->server%d" ps.proc.Proc.name
+                   b.b_server_id,
+                 Ept.root_pa b.ept ))
+             ps.bindings)
+      pstates
+  in
+  let known_roots =
+    Ept.root_pa t.root.Rootkernel.base_ept :: List.map snd epts
+  in
+  let eptp_lists =
+    Array.to_list
+      (Array.mapi (fun core vmcs -> (Printf.sprintf "vmcs:core%d" core, vmcs))
+         t.root.Rootkernel.vmcses)
+  in
+  let page_tables =
+    List.map
+      (fun ps -> (Printf.sprintf "pt:%s" ps.proc.Proc.name, Proc.cr3 ps.proc))
+      pstates
+  in
+  let machine =
+    {
+      Sky_analysis.Ept_check.mem;
+      phys_bytes = Phys_mem.size_bytes mem;
+      epts;
+      known_roots;
+      eptp_lists;
+      page_tables;
+      trampoline_gpa = t.trampoline_frame;
+      trampoline_va = Layout.trampoline_va;
+    }
+  in
+  Sky_analysis.Audit.run
+    {
+      Sky_analysis.Audit.images;
+      machine = Some machine;
+      trampolines = [ ("trampoline", tramp) ];
+    }

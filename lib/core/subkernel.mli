@@ -24,6 +24,11 @@ exception Call_timeout of { server_id : int; elapsed : int }
 exception Wx_violation of { pid : int; va : int }
 (** A process stored to one of its executable pages (§9 W^X). *)
 
+exception Audit_failed of Sky_analysis.Report.violation list
+(** The mandatory post-registration gadget audit found a VMFUNC encoding
+    (or unverifiable bytes) in the process's executable pages after
+    rewriting — the process is refused. *)
+
 val init :
   ?vpid:bool ->
   ?huge_ept:bool ->
@@ -99,6 +104,17 @@ val key_table_va : int
 
 val proc_is_clean : t -> Sky_ukernel.Proc.t -> bool
 (** No VMFUNC outside the trampoline in the process's executable pages. *)
+
+val trampoline_frame : t -> int
+(** Physical address of the shared trampoline frame (exposed for the
+    auditor's mutation tests). *)
+
+val audit : t -> Sky_analysis.Report.violation list
+(** Whole-machine static security audit: gadget-audits every registered
+    process image and the live trampoline bytes, abstract-interprets the
+    trampoline, and checks EPT/page-table W^X, trampoline protection and
+    EPTP-list validity across all process and binding EPTs. [[]] means
+    every invariant holds. *)
 
 val make_code_writable : t -> Sky_ukernel.Proc.t -> unit
 (** W^X (§9): flip the process's code pages to writable+non-executable so

@@ -25,6 +25,8 @@ let all =
       run = Exp_table5.run };
     { id = "table6"; title = "Table 6: inadvertent VMFUNC scan";
       run = (fun () -> Exp_table6.run ()) };
+    { id = "gadgets"; title = "Audit: VMFUNC occurrences by case (ERIM-style)";
+      run = Exp_audit.run };
     { id = "ablation"; title = "Ablations: design choices"; run = Exp_ablation.run };
     { id = "monolithic"; title = "Extension: SkyBridge on a monolithic kernel (SS10)";
       run = Exp_extensions.run_monolithic };

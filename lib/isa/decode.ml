@@ -467,3 +467,41 @@ let decode_all code =
       go (off + d.len) (d :: acc)
   in
   go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Totality view for the auditor                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [decode_all] is total by construction: [decode_one] never raises and
+   always consumes at least one byte, so the records tile the buffer
+   exactly. Runs of bytes the decoder has no semantics for ([insn = None])
+   are surfaced to the auditor as coalesced [Unknown] spans — regions it
+   must flag as unverifiable rather than silently skip. *)
+type span =
+  | Decoded of decoded
+  | Unknown of { off : int; len : int }
+
+let decode_spans code =
+  let flush acc = function
+    | None -> acc
+    | Some (off, len) -> Unknown { off; len } :: acc
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (flush acc cur)
+    | d :: rest -> (
+      match d.insn with
+      | None ->
+        let cur =
+          match cur with
+          | None -> Some (d.off, d.len)
+          | Some (off, len) -> Some (off, len + d.len)
+        in
+        go acc cur rest
+      | Some _ -> go (Decoded d :: flush acc cur) None rest)
+  in
+  go [] None (decode_all code)
+
+let unknown_spans code =
+  List.filter_map
+    (function Unknown { off; len } -> Some (off, len) | Decoded _ -> None)
+    (decode_spans code)

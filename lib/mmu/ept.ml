@@ -96,11 +96,14 @@ let leaf_entry_for_write t ~mem ~alloc ~gpa =
   in
   go t.root 3
 
-let map_4k t ~mem ~alloc ~gpa ~hpa =
+let map_4k_flags t ~mem ~alloc ~gpa ~hpa ~flags =
   if gpa land 0xfff <> 0 || hpa land 0xfff <> 0 then
     invalid_arg "Ept.map_4k: unaligned";
   let epa = leaf_entry_for_write t ~mem ~alloc ~gpa in
-  Sky_mem.Phys_mem.write_u64 mem epa (Pte.encode ~pa:hpa full)
+  Sky_mem.Phys_mem.write_u64 mem epa
+    (Pte.encode ~pa:hpa { flags with Pte.huge = false })
+
+let map_4k t ~mem ~alloc ~gpa ~hpa = map_4k_flags t ~mem ~alloc ~gpa ~hpa ~flags:full
 
 let unmap_4k t ~mem ~alloc ~gpa =
   let epa = leaf_entry_for_write t ~mem ~alloc ~gpa in
@@ -156,6 +159,32 @@ let walk ~mem ~root_pa ~gpa =
       else go pa (level - 1) acc
   in
   go root_pa 3 []
+
+let walk_flags ~mem ~root_pa ~gpa =
+  let rec go table level =
+    let epa = entry_pa table (idx ~level gpa) in
+    let e = Sky_mem.Phys_mem.read_u64 mem epa in
+    if not (Pte.is_present e) then Error (Ept_not_present gpa)
+    else
+      let pa, flags = Pte.decode e in
+      if level = 0 || flags.Pte.huge then Ok (pa, flags)
+      else go pa (level - 1)
+  in
+  go root_pa 3
+
+let iter_leaves ~mem ~root_pa f =
+  let rec go table level gpa_base =
+    for e = 0 to 511 do
+      let v = Sky_mem.Phys_mem.read_u64 mem (entry_pa table e) in
+      if Pte.is_present v then begin
+        let pa, flags = Pte.decode v in
+        let gpa = gpa_base lor (e lsl entry_shift level) in
+        if level = 0 || flags.Pte.huge then f ~gpa ~hpa:pa ~level ~flags
+        else go pa (level - 1) gpa
+      end
+    done
+  in
+  go root_pa 3 0
 
 let pages_owned t = Hashtbl.length t.owned
 

@@ -43,6 +43,18 @@ val map_4k :
 (** Map a single 4 KiB guest-physical page (r/w/x); splits huge mappings
     along the way as needed. *)
 
+val map_4k_flags :
+  t ->
+  mem:Sky_mem.Phys_mem.t ->
+  alloc:Sky_mem.Frame_alloc.t ->
+  gpa:int ->
+  hpa:int ->
+  flags:Pte.flags ->
+  unit
+(** {!map_4k} with explicit permissions (EPT reading of the bits: bit 1
+    write, bit 2 execute) — how the Subkernel maps the trampoline page
+    non-writable into server EPTs. *)
+
 val unmap_4k :
   t ->
   mem:Sky_mem.Phys_mem.t ->
@@ -80,6 +92,23 @@ type walk_result = {
 
 val walk :
   mem:Sky_mem.Phys_mem.t -> root_pa:int -> gpa:int -> (walk_result, fault) result
+
+val walk_flags :
+  mem:Sky_mem.Phys_mem.t ->
+  root_pa:int ->
+  gpa:int ->
+  (int * Pte.flags, fault) result
+(** Like {!walk} but returns the leaf entry's frame PA and flags — what
+    the invariant checker needs to judge permissions. *)
+
+val iter_leaves :
+  mem:Sky_mem.Phys_mem.t ->
+  root_pa:int ->
+  (gpa:int -> hpa:int -> level:int -> flags:Pte.flags -> unit) ->
+  unit
+(** Visit every present leaf mapping reachable from [root_pa]: 4 KiB
+    leaves at [level = 0] and huge leaves at their level. [hpa] is the
+    base frame/region PA stored in the entry. *)
 
 val pages_owned : t -> int
 (** Table pages private to this EPT — 1 for a fresh shallow clone, 4 after

@@ -79,6 +79,20 @@ let walk ~mem ~root_pa ~va =
   in
   go root_pa 3 []
 
+let iter_leaves ~mem ~root_pa f =
+  let rec go table level va_base =
+    for e = 0 to 511 do
+      let v = Sky_mem.Phys_mem.read_u64 mem (entry_pa table e) in
+      if Pte.is_present v then begin
+        let pa, flags = Pte.decode v in
+        let va = va_base lor (e lsl (12 + (9 * level))) in
+        if level = 0 then f ~va ~pa ~flags
+        else go pa (level - 1) va
+      end
+    done
+  in
+  go root_pa 3 0
+
 let pages t = List.length t.owned
 
 let destroy t ~alloc =

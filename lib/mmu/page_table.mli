@@ -66,6 +66,16 @@ val va_index : level:int -> int -> int
 (** [va_index ~level va] is the 9-bit table index of [va] at [level]
     (3 = PML4 … 0 = PT). Exposed for {!Ept} and tests. *)
 
+val iter_leaves :
+  mem:Sky_mem.Phys_mem.t ->
+  root_pa:int ->
+  (va:int -> pa:int -> flags:Pte.flags -> unit) ->
+  unit
+(** Visit every present 4 KiB leaf mapping reachable from [root_pa] with
+    the leaf entry's flags — the W^X auditor's view of a process's
+    address space. Intermediate entries (always permissive, the leaf
+    gates) are not reported. *)
+
 val pages : t -> int
 (** Number of table pages owned by this page table (including the root). *)
 

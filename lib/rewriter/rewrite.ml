@@ -328,6 +328,42 @@ let handle_occurrence ~code ~code_va ~page_va ~page (occ : Scan.occurrence) =
       patch_in_place code ~off:span_off ~len:span_len ~bytes_str:jmp
     end
 
+(* ------------------------------------------------------------------ *)
+(* Independent post-verification (ERIM-style scan-and-verify)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The fixpoint loop above already re-scans until clean, but the security
+   argument should not rest on the rewriting code being correct about its
+   own output. [verify] re-checks a result with machinery the rewriting
+   path does not use: a page-by-page scan with a carried overlap (the
+   shape the per-page auditor sees) and a decode from *every* byte offset
+   that catches VMFUNCs reachable through misaligned execution. *)
+let verify ?(allowed = []) r =
+  let check name buf allowed =
+    List.iter
+      (fun at ->
+        if not (in_allowed allowed at) then
+          raise
+            (Rewrite_failed
+               (Printf.sprintf "post-verify: pattern at %#x in %s" at name)))
+      (Scan.find_pattern_paged buf);
+    let n = Bytes.length buf in
+    for off = 0 to n - 1 do
+      let d = Decode.decode_one buf off in
+      if d.Decode.insn = Some Insn.Vmfunc then begin
+        (* Prefixed encodings put the 0F 01 D4 after the prefixes. *)
+        let pat = off + d.Decode.layout.Encode.opcode_off in
+        if not (in_allowed allowed pat) then
+          raise
+            (Rewrite_failed
+               (Printf.sprintf
+                  "post-verify: vmfunc decodable at offset %#x in %s" off name))
+      end
+    done
+  in
+  check "code" r.code allowed;
+  check "rewrite page" r.rewrite_page []
+
 let rewrite ?(code_va = default_code_va)
     ?(rewrite_page_va = default_rewrite_page_va) ?(allowed = []) input =
   let page_va = rewrite_page_va in
@@ -352,12 +388,18 @@ let rewrite ?(code_va = default_code_va)
       fix (iter + 1)
   in
   let iterations = fix 0 in
-  {
-    code;
-    rewrite_page = Buffer.to_bytes page;
-    patched = !patched;
-    iterations;
-  }
+  let r =
+    {
+      code;
+      rewrite_page = Buffer.to_bytes page;
+      patched = !patched;
+      iterations;
+    }
+  in
+  (* Mandatory post-pass: never hand back a result the independent
+     verifier would reject. *)
+  verify ~allowed r;
+  r
 
 let clean ?(allowed = []) code =
   List.for_all (fun at -> in_allowed allowed at) (Scan.find_pattern code)

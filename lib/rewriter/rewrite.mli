@@ -55,3 +55,12 @@ val rewrite :
 
 val clean : ?allowed:(int * int) list -> bytes -> bool
 (** No VMFUNC pattern outside allowed ranges. *)
+
+val verify : ?allowed:(int * int) list -> result -> unit
+(** Independent re-verification of a rewrite result (the mandatory
+    post-pass {!rewrite} runs before returning): page-by-page pattern scan
+    with a carried overlap plus a decode from every byte offset of both
+    the patched code and the rewrite page.
+
+    @raise Rewrite_failed if any VMFUNC encoding survives outside the
+    allowed ranges. *)

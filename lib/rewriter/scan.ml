@@ -21,6 +21,49 @@ let find_pattern code =
 
 let count_pattern code = List.length (find_pattern code)
 
+(* Chunked scanning for per-page audits. A [0F 01 D4] split across two
+   chunks is invisible to [find_pattern] run on each chunk alone, so we
+   carry the last two bytes of each chunk into the scan of the next one.
+   [chunks] are [(global_offset, bytes)] pieces in increasing offset
+   order; a gap between chunks resets the carry (the pattern cannot span
+   unscanned bytes). Returns global offsets of every occurrence. *)
+let find_pattern_chunked chunks =
+  let hits = ref [] in
+  let carry = ref Bytes.empty in
+  let carry_off = ref 0 in
+  List.iter
+    (fun (off, chunk) ->
+      let contiguous =
+        Bytes.length !carry > 0 && !carry_off + Bytes.length !carry = off
+      in
+      let joined, joined_off =
+        if contiguous then (Bytes.cat !carry chunk, !carry_off)
+        else (chunk, off)
+      in
+      (* Hits entirely inside the carry were already reported by the
+         previous iteration (the carry is < 3 bytes, so any hit here uses
+         at least one byte of the new chunk). *)
+      List.iter (fun at -> hits := (joined_off + at) :: !hits)
+        (find_pattern joined);
+      let keep = min 2 (Bytes.length joined) in
+      carry := Bytes.sub joined (Bytes.length joined - keep) keep;
+      carry_off := joined_off + Bytes.length joined - keep)
+    chunks;
+  List.sort_uniq compare !hits
+
+(* [find_pattern] over [code] presented as [page_size]-sized pages — the
+   shape a per-page audit sees. Equivalent to scanning the whole buffer
+   contiguously thanks to the carried overlap. *)
+let find_pattern_paged ?(page_size = 4096) code =
+  let n = Bytes.length code in
+  let rec pages off acc =
+    if off >= n then List.rev acc
+    else
+      let len = min page_size (n - off) in
+      pages (off + page_size) ((off, Bytes.sub code off len) :: acc)
+  in
+  find_pattern_chunked (pages 0 [])
+
 (* Which encoding field does byte [rel] (relative to the instruction
    start) belong to? *)
 let field_of (l : Encode.layout) rel =

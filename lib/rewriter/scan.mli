@@ -26,6 +26,17 @@ val find_pattern : bytes -> int list
 
 val count_pattern : bytes -> int
 
+val find_pattern_chunked : (int * bytes) list -> int list
+(** [find_pattern_chunked chunks] scans [(global_offset, bytes)] pieces of
+    a region in increasing-offset order, carrying a 2-byte overlap across
+    contiguous chunk boundaries so a pattern split across two chunks is
+    still found. A gap between chunks resets the carry. Returns sorted
+    global offsets. *)
+
+val find_pattern_paged : ?page_size:int -> bytes -> int list
+(** [find_pattern] with the buffer scanned page by page (default 4096) —
+    the shape a per-page audit sees; equivalent to the contiguous scan. *)
+
 val scan : bytes -> occurrence list
 (** Classified occurrences, in increasing [at] order. *)
 

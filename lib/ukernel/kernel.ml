@@ -69,7 +69,11 @@ let map_frames t p ~va ~pa ~len ~flags =
   Page_table.map_range p.Proc.page_table ~mem:(mem t) ~alloc:(alloc t) ~va ~pa
     ~len ~flags
 
-let map_anon t p ?va ?(flags = Pte.urw) len =
+(* Anonymous memory (stacks, heaps, buffers) is never executed: the NX
+   default keeps every writable mapping non-executable, which the W^X
+   auditor (lib/analysis) asserts over whole address spaces. Callers that
+   really need W+X must say so explicitly. *)
+let map_anon t p ?va ?(flags = { Pte.urw with Pte.nx = true }) len =
   let len = max len 1 in
   let pages = (len + 4095) / 4096 in
   let va = match va with Some v -> v | None -> Proc.bump_heap p len in

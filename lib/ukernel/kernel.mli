@@ -38,7 +38,9 @@ val find_proc : t -> pid:int -> Proc.t
 
 val map_anon : t -> Proc.t -> ?va:int -> ?flags:Sky_mmu.Pte.flags -> int -> int
 (** [map_anon t p len]: allocate frames and map them at [va] (heap-bumped
-    when omitted); returns the VA. *)
+    when omitted); returns the VA. Default flags are user read/write with
+    NX set — anonymous memory is data, and the W^X audit rejects any
+    writable+executable leaf. *)
 
 val map_frames :
   t -> Proc.t -> va:int -> pa:int -> len:int -> flags:Sky_mmu.Pte.flags -> unit

@@ -246,8 +246,8 @@ let test_registry_complete () =
   (* One entry per paper table/figure + the ablation. *)
   let expected =
     [ "table1"; "table2"; "fig2"; "fig7"; "fig8"; "table4"; "fig9"; "fig10";
-      "fig11"; "table5"; "table6"; "ablation"; "monolithic"; "tempmap";
-      "scheduling"; "ycsbmix" ]
+      "fig11"; "table5"; "table6"; "gadgets"; "ablation"; "monolithic";
+      "tempmap"; "scheduling"; "ycsbmix" ]
   in
   List.iter
     (fun id ->

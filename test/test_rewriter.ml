@@ -261,6 +261,45 @@ let test_rewrite_idempotent_on_clean () =
   Alcotest.(check bool) "bytes untouched" true (Bytes.equal code r.Rewrite.code)
 
 (* ------------------------------------------------------------------ *)
+(* Negative paths: inputs the rewriter must refuse, not mangle         *)
+(* ------------------------------------------------------------------ *)
+
+let check_rewrite_fails ~msg code =
+  match Rewrite.rewrite ~code_va code with
+  | _ -> Alcotest.failf "expected Rewrite_failed (%s)" msg
+  | exception Rewrite.Rewrite_failed m ->
+    Alcotest.(check string) "failure reason" msg m
+
+let test_fail_undecodable_carrier () =
+  (* C7 /1 does not exist in the subset: the instruction has a known
+     length (opcode+modrm+imm32) but no semantics, and the pattern sits
+     in its immediate. *)
+  check_rewrite_fails ~msg:"pattern inside undecodable instruction"
+    (Bytes.of_string "\xc7\xc8\x0f\x01\xd4\x00")
+
+let test_fail_no_memory_operand () =
+  (* Multi-byte NOP with the pattern in its displacement: the disp
+     strategy needs a memory operand to split, and NOP has none. *)
+  check_rewrite_fails ~msg:"instruction has no memory operand"
+    (Bytes.of_string "\x0f\x1f\x80\x0f\x01\xd4\x00")
+
+let test_fail_span_at_end_of_code () =
+  (* A C2 occurrence whose span cannot grow to 5 bytes (jump size)
+     because the code ends right after it. *)
+  check_rewrite_fails ~msg:"span too short at end of code"
+    (Bytes.of_string "\x01\x0f\x01\xd4")
+
+let test_prefixed_vmfunc_rewrites_as_c1 () =
+  (* A redundant-prefix VMFUNC encoding (66 0F 01 D4) still carries the
+     raw pattern; C1 NOPs out the whole instruction, prefix included. *)
+  let code = Bytes.of_string "\x66\x0f\x01\xd4\xc3" in
+  let r = Rewrite.rewrite ~code_va code in
+  Alcotest.(check int) "patched" 1 r.Rewrite.patched;
+  Alcotest.(check int) "clean" 0 (Scan.count_pattern r.Rewrite.code);
+  Alcotest.(check string) "four nops then ret" "\x90\x90\x90\x90\xc3"
+    (Bytes.to_string r.Rewrite.code)
+
+(* ------------------------------------------------------------------ *)
 (* Property: random pattern-laden programs rewrite to equivalent,      *)
 (* pattern-free code                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -399,6 +438,17 @@ let () =
             test_rewrite_idempotent_on_clean;
         ]
         @ qc [ prop_rewrite_equiv ] );
+      ( "negative",
+        [
+          Alcotest.test_case "undecodable carrier" `Quick
+            test_fail_undecodable_carrier;
+          Alcotest.test_case "no memory operand" `Quick
+            test_fail_no_memory_operand;
+          Alcotest.test_case "span at end of code" `Quick
+            test_fail_span_at_end_of_code;
+          Alcotest.test_case "prefixed vmfunc is C1" `Quick
+            test_prefixed_vmfunc_rewrites_as_c1;
+        ] );
       ( "corpus",
         [
           Alcotest.test_case "table 6 totals" `Quick test_corpus_table6;
