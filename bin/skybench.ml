@@ -171,6 +171,30 @@ let audit_cmd =
   in
   Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json)
 
+let chaos_cmd =
+  let doc =
+    "Run the KV pipeline and the SQLite/xv6fs stack under a seeded, \
+     deterministic fault storm (crashes, hangs, dropped replies, EPT \
+     faults, binding revocation) and report the recovery census: \
+     recovered, degraded (slowpath) and lost calls, server restarts, \
+     forced §7 returns, post-storm audit and fsck. The same seed yields \
+     a bit-identical census. Exit code 0 iff no call was lost, the \
+     post-storm audit is clean, and the file system checks out."
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-plan seed.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the census as JSON.")
+  in
+  let run seed json =
+    let c = Sky_experiments.Exp_chaos.run_chaos ~seed in
+    if json then print_endline (Sky_experiments.Exp_chaos.census_to_json c)
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_chaos.census_table c);
+    if not (Sky_experiments.Exp_chaos.clean c) then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ json)
+
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
   let run () =
@@ -188,4 +212,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "skybench" ~doc ~version:"1.0")
-          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd ]))
+          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd ]))

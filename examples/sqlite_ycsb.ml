@@ -70,7 +70,7 @@ let () =
   Sky_ycsb.Workload.load wl ~core:0;
   Stack.spread_client stack ~threads:8;
   ignore (Sky_ycsb.Workload.run wl ~kind:Sky_ycsb.Workload.A ~threads:8 ~ops_per_thread:ops);
-  let lock = Sky_xv6fs.Fs.lock stack.Stack.fs in
+  let lock = Sky_xv6fs.Fs.lock (Stack.fs stack) in
   Printf.printf
     "xv6fs big lock at 8 threads: %d acquisitions, %d contended — \"we use \
      one big lock in the file system, that is the reason why the \

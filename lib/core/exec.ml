@@ -105,6 +105,9 @@ let run kernel ~core ~entry ?regs ?(max_steps = 100_000) () =
     if steps > max_steps then raise (Exec_fault "step limit")
     else if ip = return_sentinel then (`Returned, regs)
     else begin
+      (* Fault site "exec.step": the machine dies mid-trampoline. *)
+      if Sky_faults.Fault.is_enabled () then
+        Sky_faults.Fault.inject ~core "exec.step";
       let d = fetch_insn ip in
       let next = ip + d.Decode.len in
       match d.Decode.insn with

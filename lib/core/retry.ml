@@ -1,0 +1,49 @@
+open Sky_ukernel
+
+type stats = {
+  mutable attempts : int;
+  mutable retried_ok : int;
+  mutable degraded : int;
+  mutable lost : int;
+  mutable restarts : int;
+}
+
+let create_stats () =
+  { attempts = 0; retried_ok = 0; degraded = 0; lost = 0; restarts = 0 }
+
+exception Gave_up of Subkernel.call_error
+
+let bump stats f = match stats with Some s -> f s | None -> ()
+
+let call ?(max_attempts = 4) ?(backoff = 2000) ?stats ?timeout
+    ?(on_crash = fun _ -> ()) sb ~core ~client ~server_id msg =
+  let cpu = Kernel.cpu (Subkernel.kernel sb) ~core in
+  let rec go attempt =
+    bump stats (fun s -> s.attempts <- s.attempts + 1);
+    match Subkernel.call sb ~core ~client ~server_id ?timeout msg with
+    | Ok (reply, via) ->
+      if attempt > 0 then bump stats (fun s -> s.retried_ok <- s.retried_ok + 1);
+      if via = `Slowpath then bump stats (fun s -> s.degraded <- s.degraded + 1);
+      reply
+    | Error err ->
+      if attempt + 1 >= max_attempts then begin
+        bump stats (fun s -> s.lost <- s.lost + 1);
+        raise (Gave_up err)
+      end;
+      (* Exponential backoff, charged as client compute. *)
+      Sky_sim.Cpu.charge cpu (backoff lsl attempt);
+      Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.retry";
+      (match err with
+      | Subkernel.Crashed { server_id = sid } ->
+        Subkernel.restart_server sb ~server_id:sid;
+        bump stats (fun s -> s.restarts <- s.restarts + 1);
+        on_crash sid
+      | Subkernel.Revoked { server_id = sid } ->
+        (* An aborted direct call revoked the binding: re-establish it
+           (a top-level revocation degrades inside Subkernel.call and
+           never reaches this handler). *)
+        Subkernel.rebind sb client ~server_id:sid
+      | Subkernel.Timeout _ -> ());
+      go (attempt + 1)
+  in
+  go 0

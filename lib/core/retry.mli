@@ -1,0 +1,37 @@
+(** Bounded retry with exponential backoff over {!Subkernel.call} — the
+    client-side half of §7 recovery used by the kvstore/ycsb clients.
+
+    On [Crashed] the server is restarted (orphans rebound) before the
+    retry; on [Revoked] from an aborted direct call the binding is
+    re-established; a top-level revoked binding never errors at all — it
+    degrades to the slowpath inside {!Subkernel.call}. *)
+
+type stats = {
+  mutable attempts : int;  (** total call attempts, including retries *)
+  mutable retried_ok : int;  (** calls that succeeded after >= 1 retry *)
+  mutable degraded : int;  (** calls served via the slowpath fallback *)
+  mutable lost : int;  (** calls that exhausted the retry budget *)
+  mutable restarts : int;  (** server restarts triggered *)
+}
+
+val create_stats : unit -> stats
+
+exception Gave_up of Subkernel.call_error
+(** The retry budget is exhausted; carries the last typed error. *)
+
+val call :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?stats:stats ->
+  ?timeout:int ->
+  ?on_crash:(int -> unit) ->
+  Subkernel.t ->
+  core:int ->
+  client:Sky_ukernel.Proc.t ->
+  server_id:int ->
+  bytes ->
+  bytes
+(** [call sb ~core ~client ~server_id msg] with up to [max_attempts]
+    (default 4) attempts, charging [backoff lsl attempt] cycles (default
+    base 2000) between attempts. [on_crash sid] runs after a crashed
+    server [sid] has been restarted (e.g. to remount a file system). *)

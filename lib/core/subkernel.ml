@@ -4,16 +4,28 @@ open Sky_mmu
 open Sky_ukernel
 open Sky_kernels
 
+module Fault = Sky_faults.Fault
+
 exception Not_registered of { client_pid : int; server_id : int }
 exception Bad_server_key of { server_id : int; presented : int64 }
 exception Bad_client_return of { server_id : int }
 exception Call_timeout of { server_id : int; elapsed : int }
+exception Server_crashed of { server_id : int }
+exception Binding_revoked of { server_id : int }
 exception Wx_violation of { pid : int; va : int }
 
 exception Audit_failed of Sky_analysis.Report.violation list
 
+type call_error =
+  | Timeout of { server_id : int; elapsed : int }
+  | Crashed of { server_id : int }
+  | Revoked of { server_id : int }
+
 let buffer_size = 8192
 let key_table_slots = 64
+let security_ring_capacity = 256
+let default_watchdog = 1_000_000
+let hang_cycles = 1_500_000
 
 type server = {
   server_id : int;
@@ -29,6 +41,7 @@ type binding = {
   b_server_id : int;
   server_key : int64;
   buffer_vas : int array;  (** one per server connection/stack *)
+  buffer_pas : int array;  (** backing frames, for re-sharing on rebind *)
   ept : Ept.t;
   mutable last_use : int;  (** for EPTP-list LRU eviction *)
 }
@@ -37,8 +50,11 @@ type pstate = {
   proc : Proc.t;
   own_ept : Ept.t;
   trampoline_text_pa : int;
+  save_area_pa : int;  (** trampoline save area: callee-saved regs, per call *)
+  regs : int64 array;  (** modelled register file (16 GPRs, §7 recovery) *)
   mutable bindings : binding list;
   mutable installed : binding list;  (** subset currently in the EPTP list *)
+  mutable revoked : int list;  (** server ids whose binding was revoked *)
 }
 
 type t = {
@@ -53,8 +69,20 @@ type t = {
   stats : Breakdown.t;
   mutable calls : int;
   mutable evictions : int;
-  mutable security_events : string list;
+  sec_buf : string array;  (** bounded security-event ring *)
+  mutable sec_next : int;
+  mutable sec_count : int;
+  mutable sec_dropped : int;
   active_client : pstate option array;  (** per core: live direct call *)
+  call_stack : (int * int) list array;
+      (** per core: (server_id, in-server since cycle), innermost first *)
+  mutable dead_servers : int list;
+  mutable orphans : (int * int) list;  (** (client pid, server_id) to rebind *)
+  fallback_ipc : Ipc.t;  (** kernel-mediated slowpath for revoked bindings *)
+  fallback_eps : (int, Ipc.endpoint) Hashtbl.t;
+  mutable degraded_calls : int;
+  mutable forced_returns : int;
+  mutable restarts : int;
   trampoline_frame : int;  (** one shared physical frame for the code page *)
   trampoline_bytes : bytes;
 }
@@ -68,13 +96,33 @@ let kernel t = t.kernel
 let stats t = t.stats
 let calls t = t.calls
 let evictions t = t.evictions
-let security_events t = t.security_events
 let trampoline_code t = t.trampoline_bytes
 let trampoline_va = Layout.trampoline_va
 let key_table_va = Layout.identity_page_va + 4096
+
+(* Bounded ring: fault storms generate thousands of events; keep the
+   newest [security_ring_capacity] and count the overflow. *)
 let security t msg =
   Log.warn (fun m -> m "security: %s" msg);
-  t.security_events <- msg :: t.security_events
+  let cap = Array.length t.sec_buf in
+  t.sec_buf.(t.sec_next) <- msg;
+  t.sec_next <- (t.sec_next + 1) mod cap;
+  if t.sec_count < cap then t.sec_count <- t.sec_count + 1
+  else t.sec_dropped <- t.sec_dropped + 1
+
+(* Newest-first, like the unbounded list this replaces. *)
+let security_events t =
+  let cap = Array.length t.sec_buf in
+  List.init t.sec_count (fun i -> t.sec_buf.((t.sec_next - 1 - i + (2 * cap)) mod cap))
+
+let security_events_dropped t = t.sec_dropped
+let degraded_calls t = t.degraded_calls
+let forced_returns t = t.forced_returns
+let restarts t = t.restarts
+let dead_servers t = t.dead_servers
+
+let call_state t ~core =
+  match t.call_stack.(core) with [] -> None | frame :: _ -> Some frame
 
 let pstate_opt t proc = Hashtbl.find_opt t.pstates proc.Proc.pid
 
@@ -113,8 +161,19 @@ let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
       stats = Breakdown.create ();
       calls = 0;
       evictions = 0;
-      security_events = [];
+      sec_buf = Array.make security_ring_capacity "";
+      sec_next = 0;
+      sec_count = 0;
+      sec_dropped = 0;
       active_client = Array.make (Machine.n_cores kernel.Kernel.machine) None;
+      call_stack = Array.make (Machine.n_cores kernel.Kernel.machine) [];
+      dead_servers = [];
+      orphans = [];
+      fallback_ipc = Ipc.create kernel;
+      fallback_eps = Hashtbl.create 8;
+      degraded_calls = 0;
+      forced_returns = 0;
+      restarts = 0;
       trampoline_frame;
       trampoline_bytes;
     }
@@ -207,12 +266,58 @@ let ensure_pstate t proc =
         proc;
         own_ept;
         trampoline_text_pa = t.trampoline_frame;
+        save_area_pa = Frame_alloc.alloc_frame (Kernel.alloc t.kernel);
+        regs =
+          Array.init 16 (fun i -> Int64.of_int ((proc.Proc.pid * 0x100) lor i));
         bindings = [];
         installed = [];
+        revoked = [];
       }
     in
     Hashtbl.replace t.pstates proc.Proc.pid ps;
     ps
+
+let thread_regs t proc =
+  match pstate_opt t proc with
+  | Some ps -> ps.regs
+  | None -> invalid_arg "Subkernel.thread_regs: process not registered"
+
+(* ------------------------------------------------------------------ *)
+(* Trampoline save area (§7 forced-return recovery)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The registers the trampoline prologue pushes (Trampoline.code): the
+   SysV callee-saved set plus the client RSP. *)
+let callee_saved =
+  Sky_isa.Reg.[ Rbx; Rbp; Rsp; R12; R13; R14; R15 ]
+
+let save_slot_bytes = 64
+
+(* One save slot per (core, nesting depth). The Phys_mem accesses are
+   uncharged: the paper's 64-cycle crossing constant already includes the
+   trampoline's register save/restore work (see Trampoline). *)
+let save_callee_saved t ps ~slot =
+  let mem = Kernel.mem t.kernel in
+  let base = ps.save_area_pa + (slot * save_slot_bytes) in
+  List.iteri
+    (fun i r ->
+      Phys_mem.write_u64 mem (base + (i * 8)) ps.regs.(Sky_isa.Reg.encoding r))
+    callee_saved
+
+let restore_callee_saved t ps ~slot =
+  let mem = Kernel.mem t.kernel in
+  let base = ps.save_area_pa + (slot * save_slot_bytes) in
+  List.iteri
+    (fun i r ->
+      ps.regs.(Sky_isa.Reg.encoding r) <- Phys_mem.read_u64 mem (base + (i * 8)))
+    callee_saved
+
+(* Model the aborted server run having trashed the client's registers —
+   what §7 recovery must undo. *)
+let clobber_callee_saved ps =
+  List.iteri
+    (fun i r -> ps.regs.(Sky_isa.Reg.encoding r) <- Int64.of_int (0xDEAD0000 + i))
+    callee_saved
 
 let find_server t server_id =
   match List.find_opt (fun s -> s.server_id = server_id) t.servers with
@@ -226,6 +331,17 @@ let server_stack_va t ~server_id ~conn =
 let register_server t proc ?(connection_count = 8) ?(deps = []) handler =
   List.iter (fun d -> ignore (find_server t d)) deps;
   let _ps = ensure_pstate t proc in
+  (* Fault site "server.<name>": the handler crashes at dispatch or hangs
+     past the watchdog budget (§7 DoS). *)
+  let site = "server." ^ proc.Proc.name in
+  let handler ~core msg =
+    (match Fault.check ~core site with
+    | Some (Fault.Crash as kind) | Some (Fault.Drop as kind) ->
+      raise (Fault.Injected { site; kind })
+    | Some Fault.Hang -> Kernel.user_compute t.kernel ~core ~cycles:hang_cycles
+    | Some (Fault.Revoke | Fault.Ept_fault) | None -> ());
+    handler ~core msg
+  in
   let server_id = t.next_server_id in
   t.next_server_id <- server_id + 1;
   (* Per-connection stacks in the server's address space. *)
@@ -300,14 +416,16 @@ let bind_one t ps ~server_id ~key ~share_with =
       (fun a b -> compare a.Proc.pid b.Proc.pid)
       (ps.proc :: srv.sproc :: share_with)
   in
+  let buffer_pas = Array.make srv.connection_count 0 in
   let buffer_vas =
-    Array.init srv.connection_count (fun _ ->
+    Array.init srv.connection_count (fun i ->
         let va = t.next_buffer_va in
         t.next_buffer_va <- t.next_buffer_va + buffer_size;
         let pa =
           Frame_alloc.alloc_frames (Kernel.alloc t.kernel)
             ~count:(buffer_size / 4096)
         in
+        buffer_pas.(i) <- pa;
         List.iter
           (fun proc ->
             Kernel.map_frames t.kernel proc ~va ~pa ~len:buffer_size
@@ -315,7 +433,10 @@ let bind_one t ps ~server_id ~key ~share_with =
           chain;
         va)
   in
-  let b = { b_server_id = server_id; server_key = key; buffer_vas; ept; last_use = 0 } in
+  let b =
+    { b_server_id = server_id; server_key = key; buffer_vas; buffer_pas; ept;
+      last_use = 0 }
+  in
   ps.bindings <- ps.bindings @ [ b ];
   if List.length ps.installed + 1 < t.max_eptp then
     ps.installed <- ps.installed @ [ b ];
@@ -334,8 +455,41 @@ let register_client_to_server t proc ~server_id =
   if List.exists (fun b -> b.b_server_id = server_id) ps.bindings then ()
   else begin
     let closure = dep_closure t server_id in
-    (* Every process in the call chain shares the dependency buffers. *)
-    let chain_procs = List.map (fun sid -> (find_server t sid).sproc) closure in
+    (* Every process in the call chain shares the dependency buffers.
+       Besides [server_id]'s own closure, keep any intermediate server
+       this process already reaches that depends on [server_id]: a
+       rebound dependency binding's buffers are read while executing
+       under the intermediary's EPT (the CR3 remap makes the guest walk
+       use the intermediary's page tables), so dropping it from the
+       chain would page-fault the next nested call after a recovery. *)
+    let intermediaries =
+      List.filter_map
+        (fun b ->
+          if b.b_server_id <> server_id
+             && List.mem server_id (dep_closure t b.b_server_id)
+          then Some (find_server t b.b_server_id).sproc
+          else None)
+        ps.bindings
+    in
+    let chain_procs =
+      List.map (fun sid -> (find_server t sid).sproc) closure @ intermediaries
+    in
+    (* Dependency bindings that survived a partial reap keep their old
+       buffers: re-share those frames with the (possibly new) chain so a
+       freshly rebound intermediary can still reach them. *)
+    List.iter
+      (fun b ->
+        if b.b_server_id <> server_id && List.mem b.b_server_id closure then
+          Array.iteri
+            (fun i va ->
+              List.iter
+                (fun proc ->
+                  Kernel.map_frames t.kernel proc ~va ~pa:b.buffer_pas.(i)
+                    ~len:buffer_size
+                    ~flags:{ Pte.urw with Pte.nx = true })
+                (ps.proc :: chain_procs))
+            b.buffer_vas)
+      ps.bindings;
     List.iter
       (fun sid ->
         if not (List.exists (fun b -> b.b_server_id = sid) ps.bindings) then begin
@@ -368,8 +522,142 @@ let register_client_to_server t proc ~server_id =
           in
           ignore (bind_one t ps ~server_id:sid ~key ~share_with:chain_procs)
         end)
-      closure
+      closure;
+    ps.revoked <- List.filter (fun sid -> not (List.mem sid closure)) ps.revoked
   end
+
+(* ------------------------------------------------------------------ *)
+(* Revocation, reaping, restart (§7 recovery)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove (pid, key) from the server's calling-key table, compacting the
+   remaining entries: lookups treat the first zero pid as end-of-table,
+   so a hole would hide every later key. *)
+let clear_key t srv ~client_pid ~key =
+  let mem = Kernel.mem t.kernel in
+  let live = ref [] in
+  for i = key_table_slots - 1 downto 0 do
+    let base = srv.key_table_pa + (i * 16) in
+    let pid = Phys_mem.read_u64 mem base in
+    let k = Phys_mem.read_u64 mem (base + 8) in
+    if pid <> 0L && not (pid = Int64.of_int client_pid && k = key) then
+      live := (pid, k) :: !live
+  done;
+  List.iteri
+    (fun i (pid, k) ->
+      let base = srv.key_table_pa + (i * 16) in
+      Phys_mem.write_u64 mem base pid;
+      Phys_mem.write_u64 mem (base + 8) k)
+    !live;
+  for i = List.length !live to key_table_slots - 1 do
+    let base = srv.key_table_pa + (i * 16) in
+    Phys_mem.write_u64 mem base 0L;
+    Phys_mem.write_u64 mem (base + 8) 0L
+  done
+
+(* A revoked binding's EPTP slot degenerates to the process's own EPT
+   root instead of being removed: in-flight nested frames hold slot
+   indices into the installed list, which must therefore keep its
+   positions stable. *)
+let dummy_binding ps =
+  {
+    b_server_id = -1;
+    server_key = 0L;
+    buffer_vas = [||];
+    buffer_pas = [||];
+    ept = ps.own_ept;
+    last_use = 0;
+  }
+
+(* Push the (changed) EPTP list to every core currently running the
+   process, preserving the live EPTP index (the list rewrite must not
+   switch address spaces under a running call). *)
+let refresh_lists t ps =
+  Array.iteri
+    (fun core running ->
+      match running with
+      | Some p when p == ps.proc ->
+        let vmcs = t.root.Rootkernel.vmcses.(core) in
+        let saved = Vmcs.current_index vmcs in
+        Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps);
+        vmcs.Vmcs.current_index <- saved
+      | _ -> ())
+    t.kernel.Kernel.running
+
+let revoke_binding t ~core proc ~server_id ~reason =
+  match pstate_opt t proc with
+  | None -> ()
+  | Some ps -> (
+    match List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings with
+    | None -> ()
+    | Some b ->
+      ps.bindings <- List.filter (fun x -> x != b) ps.bindings;
+      ps.installed <-
+        List.map (fun x -> if x == b then dummy_binding ps else x) ps.installed;
+      if not (List.mem server_id ps.revoked) then
+        ps.revoked <- server_id :: ps.revoked;
+      if not (List.mem (proc.Proc.pid, server_id) t.orphans) then
+        t.orphans <- (proc.Proc.pid, server_id) :: t.orphans;
+      clear_key t (find_server t server_id) ~client_pid:proc.Proc.pid
+        ~key:b.server_key;
+      refresh_lists t ps;
+      security t
+        (Printf.sprintf "revoked binding pid %d -> server %d: %s" proc.Proc.pid
+           server_id reason);
+      Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.revoke")
+
+let server_dead t server_id = List.mem server_id t.dead_servers
+
+(* A crashed server strands every connection bound to it: revoke them
+   all (reaping), recording the orphans so a restart can rebind. *)
+let mark_server_dead t ~core ~server_id =
+  if not (server_dead t server_id) then begin
+    t.dead_servers <- server_id :: t.dead_servers;
+    security t
+      (Printf.sprintf "server %d crashed; reaping orphaned connections"
+         server_id);
+    Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.reap";
+    Hashtbl.fold (fun _ ps acc -> ps :: acc) t.pstates []
+    |> List.sort (fun a b -> compare a.proc.Proc.pid b.proc.Proc.pid)
+    |> List.iter (fun ps ->
+           if List.exists (fun b -> b.b_server_id = server_id) ps.bindings then
+             revoke_binding t ~core ps.proc ~server_id
+               ~reason:"orphaned by server crash")
+  end
+
+(* Bring a crashed server back and re-establish every orphaned
+   connection with fresh keys and binding EPTs. *)
+let restart_server t ~server_id =
+  if server_dead t server_id then begin
+    t.dead_servers <- List.filter (fun s -> s <> server_id) t.dead_servers;
+    t.restarts <- t.restarts + 1;
+    let mine, rest = List.partition (fun (_, sid) -> sid = server_id) t.orphans in
+    t.orphans <- rest;
+    List.iter
+      (fun (pid, sid) ->
+        match Hashtbl.find_opt t.pstates pid with
+        | None -> ()
+        | Some ps ->
+          ps.revoked <- List.filter (fun s -> s <> sid) ps.revoked;
+          register_client_to_server t ps.proc ~server_id:sid)
+      (List.sort compare mine);
+    security t
+      (Printf.sprintf "server %d restarted; %d connections rebound" server_id
+         (List.length mine));
+    Sky_trace.Trace.instant ~core:0 ~cat:"recovery" "recovery.restart"
+  end
+
+(* Re-establish a single revoked binding (fresh key, fresh EPT). *)
+let rebind t proc ~server_id =
+  match pstate_opt t proc with
+  | None -> ()
+  | Some ps ->
+    ps.revoked <- List.filter (fun s -> s <> server_id) ps.revoked;
+    t.orphans <-
+      List.filter
+        (fun (pid, sid) -> not (pid = proc.Proc.pid && sid = server_id))
+        t.orphans;
+    register_client_to_server t proc ~server_id
 
 (* ------------------------------------------------------------------ *)
 (* direct_server_call                                                  *)
@@ -425,7 +713,72 @@ let guest_copy_out t ~core va data =
 let guest_copy_in t ~core va len =
   Translate.read_bytes (Kernel.vcpu t.kernel ~core) (Kernel.mem t.kernel) ~va ~len
 
-let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
+(* Graceful degradation: a connection whose binding was revoked falls
+   back to the kernel-mediated slowpath transparently. The server's
+   handler (fault site included) is registered into the fallback Ipc
+   instance on first use. *)
+let fallback_endpoint t srv =
+  match Hashtbl.find_opt t.fallback_eps srv.server_id with
+  | Some ep -> ep
+  | None ->
+    let ep = Ipc.register t.fallback_ipc srv.sproc srv.handler in
+    Hashtbl.replace t.fallback_eps srv.server_id ep;
+    ep
+
+let slowpath_call t ~core ps ~server_id msg =
+  let srv = find_server t server_id in
+  let ep = fallback_endpoint t srv in
+  Sky_trace.Trace.span ~core ~cat:"recovery" "recovery.slowpath" @@ fun () ->
+  Fault.enter_scope ();
+  match Ipc.call t.fallback_ipc ~core ~client:ps.proc ep msg with
+  | reply ->
+    Fault.leave_scope ();
+    t.degraded_calls <- t.degraded_calls + 1;
+    Ok reply
+  | exception e ->
+    Fault.leave_scope ();
+    Kernel.context_switch t.kernel ~core ps.proc;
+    (match e with
+    | Fault.Injected _ ->
+      mark_server_dead t ~core ~server_id;
+      Error (Crashed { server_id })
+    | Server_crashed { server_id = sid } -> Error (Crashed { server_id = sid })
+    | Call_timeout { server_id = sid; elapsed } ->
+      Error (Timeout { server_id = sid; elapsed })
+    | e -> raise e)
+
+(* Map an in-server exception to the typed error the client observes,
+   performing the matching recovery action. [None] = a genuine bug, to
+   be re-raised. *)
+let classify_abort t ~core cpu ~start ps ~server_id e =
+  match e with
+  | Fault.Injected { kind = Fault.Ept_fault; _ }
+  | Ept.Ept_violation _
+  | Vmfunc.Invalid_vmfunc _ ->
+    revoke_binding t ~core ps.proc ~server_id
+      ~reason:"EPT fault during direct call";
+    Some (Revoked { server_id })
+  | Fault.Injected { kind = Fault.Drop; _ } ->
+    Some (Timeout { server_id; elapsed = Cpu.cycles cpu - start })
+  | Fault.Injected _ ->
+    mark_server_dead t ~core ~server_id;
+    Some (Crashed { server_id })
+  | Server_crashed { server_id = sid } -> Some (Crashed { server_id = sid })
+  | Binding_revoked { server_id = sid } -> Some (Revoked { server_id = sid })
+  | Call_timeout { server_id = sid; elapsed } ->
+    Some (Timeout { server_id = sid; elapsed })
+  | _ -> None
+
+let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
+  (* Fault site "subkernel.call": a revocation storm yanks the binding at
+     call entry; top-level calls then degrade to the slowpath. *)
+  (match Fault.check ~core "subkernel.call" with
+  | Some Fault.Revoke ->
+    let proc =
+      match t.active_client.(core) with Some ps -> ps.proc | None -> client
+    in
+    revoke_binding t ~core proc ~server_id ~reason:"injected revocation storm"
+  | _ -> ());
   let ps =
     (* Nested calls resolve against the root client's EPTP list, which
        carries the dependency EPTs (§4.2). *)
@@ -436,133 +789,214 @@ let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
       | Some ps -> ps
       | None -> raise (Not_registered { client_pid = client.Proc.pid; server_id }))
   in
-  let b =
+  if server_dead t server_id then begin
+    security t
+      (Printf.sprintf "pid %d called dead server %d" ps.proc.Proc.pid server_id);
+    Error (Crashed { server_id })
+  end
+  else
     match List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings with
-    | Some b -> b
+    | None when List.mem server_id ps.revoked ->
+      if t.active_client.(core) = None then
+        Result.map (fun r -> (r, `Slowpath)) (slowpath_call t ~core ps ~server_id msg)
+      else
+        (* A nested call cannot take the slowpath mid-direct-call (the
+           kernel transfer would rewrite the live EPTP state under the
+           outer frame): abort the whole call chain instead. *)
+        raise (Binding_revoked { server_id })
     | None ->
       security t
         (Printf.sprintf "pid %d attempted unbound call to server %d"
            ps.proc.Proc.pid server_id);
       raise (Not_registered { client_pid = ps.proc.Proc.pid; server_id })
-  in
-  let srv = find_server t server_id in
-  let cpu = Kernel.cpu t.kernel ~core in
-  let vcpu = Kernel.vcpu t.kernel ~core in
-  (* Make sure the root client is the running process (normally a no-op:
-     the workload is already executing it). *)
-  if t.active_client.(core) = None then
-    Kernel.context_switch t.kernel ~core ps.proc;
-  t.calls <- t.calls + 1;
-  t.calls |> fun n -> b.last_use <- n;
-  let idx = ensure_installed t ~core ps b in
-  let start = Cpu.cycles cpu in
-  (* Roundtrip span: feeds the "skybridge.<kernel>.call" latency
-     histogram; inner spans (vmfunc, copies, key check) refine the
-     per-category attribution. *)
-  let span_name =
-    "skybridge."
-    ^ (match t.kernel.Kernel.config.Config.variant with
-      | Config.Sel4 -> "sel4"
-      | Config.Fiasco -> "fiasco"
-      | Config.Zircon -> "zircon"
-      | Config.Linux -> "linux")
-    ^ ".call"
-  in
-  Sky_trace.Trace.span ~core ~cat:"ipc" span_name @@ fun () ->
-  let conn = core mod srv.connection_count in
-  let large = Bytes.length msg > Ipc.register_msg_limit in
-  (* --- client side of the trampoline --- *)
-  Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
-  let copy0 = Cpu.cycles cpu in
-  if large then
-    Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
-        guest_copy_out t ~core b.buffer_vas.(conn) msg);
-  let copy_cycles = ref (Cpu.cycles cpu - copy0) in
-  let client_key = fresh_key t in
-  (* --- VMFUNC into the server --- *)
-  let outer = t.active_client.(core) in
-  (* The trampoline returns to whatever EPTP slot it was entered from:
-     slot 0 for a plain client, the calling server's slot for a nested
-     call (the FS returning from the disk driver must land back in the
-     FS's address space, not the client's). *)
-  let return_index = Vmcs.current_index (Vcpu.vmcs_exn vcpu) in
-  Vmfunc.execute vcpu ~func:0 ~index:idx;
-  t.active_client.(core) <- Some ps;
-  let finish_return reply =
-    (* --- VMFUNC back, restore --- *)
-    Vmfunc.execute vcpu ~func:0 ~index:return_index;
-    t.active_client.(core) <- outer;
-    Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
-    reply
-  in
-  (* --- server side --- *)
-  (* Calling-key check against the server's table (§4.4). *)
-  let presented =
-    match attack with Some `Fake_server_key -> 0xBADBADL | _ -> b.server_key
-  in
-  let key_ok =
-    Sky_trace.Trace.span ~core ~cat:"other" "skybridge.keycheck" (fun () ->
-        check_key t ~core srv presented)
-  in
-  if not key_ok then begin
-    security t
-      (Printf.sprintf "server %d rejected key %Lx from pid %d" server_id
-         presented ps.proc.Proc.pid);
-    ignore (finish_return Bytes.empty);
-    raise (Bad_server_key { server_id; presented })
-  end;
-  let msg' =
-    if large then
-      Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
-          guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length msg))
-    else msg
-  in
-  let reply = srv.handler ~core msg' in
-  (* DoS timeout (§7): if the server burned past the budget, the kernel's
-     timer tick forces control back to the client. *)
-  (match timeout with
-  | Some budget when Cpu.cycles cpu - start > budget ->
-    Kernel.kernel_entry t.kernel ~core;
-    Kernel.kernel_exit t.kernel ~core;
-    let elapsed = Cpu.cycles cpu - start in
-    ignore (finish_return Bytes.empty);
-    security t (Printf.sprintf "server %d timed out after %d cycles" server_id elapsed);
-    raise (Call_timeout { server_id; elapsed })
-  | _ -> ());
-  (* Client-key echo (illegal client return defence). *)
-  let echoed =
-    match attack with Some `Corrupt_return_key -> Int64.lognot client_key | _ -> client_key
-  in
-  let reply_large = Bytes.length reply > Ipc.register_msg_limit in
-  if reply_large then begin
-    let c0 = Cpu.cycles cpu in
-    Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
-        guest_copy_out t ~core b.buffer_vas.(conn) reply);
-    copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0)
-  end;
-  let reply = finish_return reply in
-  if echoed <> client_key then begin
-    security t (Printf.sprintf "server %d returned a corrupted client key" server_id);
-    raise (Bad_client_return { server_id })
-  end;
-  let reply =
-    if reply_large then begin
-      let c0 = Cpu.cycles cpu in
-      let r =
-        Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
-            guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length reply))
+    | Some b ->
+      let srv = find_server t server_id in
+      let cpu = Kernel.cpu t.kernel ~core in
+      let vcpu = Kernel.vcpu t.kernel ~core in
+      (* Make sure the root client is the running process (normally a
+         no-op: the workload is already executing it). *)
+      if t.active_client.(core) = None then
+        Kernel.context_switch t.kernel ~core ps.proc;
+      t.calls <- t.calls + 1;
+      t.calls |> fun n -> b.last_use <- n;
+      let idx = ensure_installed t ~core ps b in
+      let start = Cpu.cycles cpu in
+      (* Roundtrip span: feeds the "skybridge.<kernel>.call" latency
+         histogram; inner spans (vmfunc, copies, key check) refine the
+         per-category attribution. *)
+      let span_name =
+        "skybridge."
+        ^ (match t.kernel.Kernel.config.Config.variant with
+          | Config.Sel4 -> "sel4"
+          | Config.Fiasco -> "fiasco"
+          | Config.Zircon -> "zircon"
+          | Config.Linux -> "linux")
+        ^ ".call"
       in
-      copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0);
-      r
-    end
-    else reply
-  in
-  (* Accounting (Figure 7 categories). *)
-  t.stats.Breakdown.vmfunc <- t.stats.Breakdown.vmfunc + (2 * Costs.vmfunc);
-  t.stats.Breakdown.other <-
-    t.stats.Breakdown.other + (2 * Trampoline.crossing_cycles);
-  t.stats.Breakdown.copy <- t.stats.Breakdown.copy + !copy_cycles;
-  reply
+      Sky_trace.Trace.span ~core ~cat:"ipc" span_name @@ fun () ->
+      let conn = core mod srv.connection_count in
+      let large = Bytes.length msg > Ipc.register_msg_limit in
+      (* --- client side of the trampoline --- *)
+      Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
+      (* Trampoline prologue: the callee-saved set goes to the per-call
+         save slot, from which a forced return can restore it (§7). *)
+      let depth = List.length t.call_stack.(core) in
+      let slot = ((core * 8) + depth) land 63 in
+      save_callee_saved t ps ~slot;
+      let copy0 = Cpu.cycles cpu in
+      if large then
+        Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+            guest_copy_out t ~core b.buffer_vas.(conn) msg);
+      let copy_cycles = ref (Cpu.cycles cpu - copy0) in
+      let client_key = fresh_key t in
+      (* --- VMFUNC into the server --- *)
+      let outer = t.active_client.(core) in
+      (* The trampoline returns to whatever EPTP slot it was entered
+         from: slot 0 for a plain client, the calling server's slot for a
+         nested call (the FS returning from the disk driver must land
+         back in the FS's address space, not the client's). *)
+      let return_index = Vmcs.current_index (Vcpu.vmcs_exn vcpu) in
+      Vmfunc.execute vcpu ~func:0 ~index:idx;
+      t.active_client.(core) <- Some ps;
+      t.call_stack.(core) <- (server_id, start) :: t.call_stack.(core);
+      let returned = ref false in
+      let pop_frame () =
+        match t.call_stack.(core) with
+        | _ :: rest -> t.call_stack.(core) <- rest
+        | [] -> ()
+      in
+      let finish_return reply =
+        (* --- VMFUNC back, restore --- *)
+        Fault.leave_scope ();
+        Vmfunc.execute vcpu ~func:0 ~index:return_index;
+        t.active_client.(core) <- outer;
+        pop_frame ();
+        Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
+        returned := true;
+        reply
+      in
+      let forced_return () =
+        (* §7: the watchdog VMFUNCs the stranded client back to the EPTP
+           slot it entered from and restores the callee-saved registers
+           from the trampoline save area (the aborted server run never
+           ran the trampoline epilogue). *)
+        Fault.leave_scope ();
+        t.forced_returns <- t.forced_returns + 1;
+        Sky_trace.Trace.span ~core ~cat:"recovery" "recovery.forced_return"
+        @@ fun () ->
+        Vmfunc.execute vcpu ~func:0 ~index:return_index;
+        t.active_client.(core) <- outer;
+        pop_frame ();
+        Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
+        restore_callee_saved t ps ~slot;
+        returned := true
+      in
+      (* Scoped ambient fault sites (sim/mmu/exec/ipc) may fire from here
+         until the return crossing: the fault lands while the client
+         executes inside the server's space. *)
+      Fault.enter_scope ();
+      match
+        (* --- server side --- *)
+        (* Calling-key check against the server's table (§4.4). *)
+        let presented =
+          match attack with Some `Fake_server_key -> 0xBADBADL | _ -> b.server_key
+        in
+        let key_ok =
+          Sky_trace.Trace.span ~core ~cat:"other" "skybridge.keycheck" (fun () ->
+              check_key t ~core srv presented)
+        in
+        if not key_ok then begin
+          security t
+            (Printf.sprintf "server %d rejected key %Lx from pid %d" server_id
+               presented ps.proc.Proc.pid);
+          ignore (finish_return Bytes.empty);
+          raise (Bad_server_key { server_id; presented })
+        end;
+        let msg' =
+          if large then
+            Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+                guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length msg))
+          else msg
+        in
+        let reply = srv.handler ~core msg' in
+        (* DoS timeout (§7): if the server burned past the budget, the
+           kernel's timer tick forces control back to the client. *)
+        match timeout with
+        | Some budget when Cpu.cycles cpu - start > budget ->
+          let elapsed = Cpu.cycles cpu - start in
+          clobber_callee_saved ps;
+          forced_return ();
+          Kernel.kernel_entry t.kernel ~core;
+          Kernel.kernel_exit t.kernel ~core;
+          security t
+            (Printf.sprintf "server %d timed out after %d cycles; client forced back"
+               server_id elapsed);
+          Error (Timeout { server_id; elapsed })
+        | _ ->
+          (* Client-key echo (illegal client return defence). *)
+          let echoed =
+            match attack with
+            | Some `Corrupt_return_key -> Int64.lognot client_key
+            | _ -> client_key
+          in
+          let reply_large = Bytes.length reply > Ipc.register_msg_limit in
+          if reply_large then begin
+            let c0 = Cpu.cycles cpu in
+            Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+                guest_copy_out t ~core b.buffer_vas.(conn) reply);
+            copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0)
+          end;
+          let reply = finish_return reply in
+          if echoed <> client_key then begin
+            security t
+              (Printf.sprintf "server %d returned a corrupted client key"
+                 server_id);
+            raise (Bad_client_return { server_id })
+          end;
+          let reply =
+            if reply_large then begin
+              let c0 = Cpu.cycles cpu in
+              let r =
+                Sky_trace.Trace.span ~core ~cat:"copy" "skybridge.copy" (fun () ->
+                    guest_copy_in t ~core b.buffer_vas.(conn) (Bytes.length reply))
+              in
+              copy_cycles := !copy_cycles + (Cpu.cycles cpu - c0);
+              r
+            end
+            else reply
+          in
+          (* Accounting (Figure 7 categories). *)
+          t.stats.Breakdown.vmfunc <- t.stats.Breakdown.vmfunc + (2 * Costs.vmfunc);
+          t.stats.Breakdown.other <-
+            t.stats.Breakdown.other + (2 * Trampoline.crossing_cycles);
+          t.stats.Breakdown.copy <- t.stats.Breakdown.copy + !copy_cycles;
+          Ok reply
+      with
+      | outcome -> Result.map (fun reply -> (reply, `Direct)) outcome
+      | exception e when not !returned ->
+        (* The client is stranded inside the server's space: force it
+           back, then surface a typed error (or re-raise a genuine bug —
+           the cleanup has already happened either way). *)
+        clobber_callee_saved ps;
+        forced_return ();
+        (match classify_abort t ~core cpu ~start ps ~server_id e with
+        | Some err ->
+          security t
+            (Printf.sprintf "call to server %d aborted (%s); client forced back"
+               server_id (Printexc.to_string e));
+          Error err
+        | None -> raise e)
+
+let call t ~core ~client ~server_id ?(timeout = default_watchdog) ?attack msg =
+  call_internal t ~core ~client ~server_id ~timeout ?attack msg
+
+let direct_server_call t ~core ~client ~server_id ?timeout ?attack msg =
+  match call_internal t ~core ~client ~server_id ?timeout ?attack msg with
+  | Ok (reply, _) -> reply
+  | Error (Timeout { server_id; elapsed }) ->
+    raise (Call_timeout { server_id; elapsed })
+  | Error (Crashed { server_id }) -> raise (Server_crashed { server_id })
+  | Error (Revoked { server_id }) -> raise (Binding_revoked { server_id })
 
 let current_identity t ~core = Rootkernel.current_identity t.root ~core
 
@@ -612,6 +1046,40 @@ let live_trampoline t =
 (* Whole-machine audit: every registered process image, every guest page
    table, every process/binding EPT, every EPTP list, and the live
    trampoline bytes. Returns the (sorted) violation list; [] = clean. *)
+(* [trampoline.callee-saved]: a thread at rest (no in-flight direct
+   call) whose callee-saved registers still hold the aborted server
+   run's clobber pattern — the §7 forced return failed to restore the
+   trampoline save area. *)
+let callee_saved_violations t =
+  let in_flight ps =
+    Array.exists
+      (function Some a -> a == ps | None -> false)
+      t.active_client
+  in
+  Hashtbl.fold (fun _ ps acc -> ps :: acc) t.pstates []
+  |> List.sort (fun a b -> compare a.proc.Proc.pid b.proc.Proc.pid)
+  |> List.concat_map (fun ps ->
+         if in_flight ps then []
+         else
+           List.concat
+             (List.mapi
+                (fun i r ->
+                  if
+                    ps.regs.(Sky_isa.Reg.encoding r)
+                    = Int64.of_int (0xDEAD0000 + i)
+                  then
+                    [
+                      Sky_analysis.Report.v
+                        ~invariant:"trampoline.callee-saved"
+                        ~image:ps.proc.Proc.name
+                        (Printf.sprintf
+                           "%s holds the aborted server's clobber pattern \
+                            (forced return did not restore the save area)"
+                           (Sky_isa.Reg.name r));
+                    ]
+                  else [])
+                callee_saved))
+
 let audit t =
   let mem = Kernel.mem t.kernel in
   let tramp = live_trampoline t in
@@ -669,3 +1137,4 @@ let audit t =
       machine = Some machine;
       trampolines = [ ("trampoline", tramp) ];
     }
+  @ callee_saved_violations t

@@ -21,6 +21,14 @@ exception Call_timeout of { server_id : int; elapsed : int }
 (** DoS defence (§7): the server exceeded the call's cycle budget and the
     kernel forced control back to the client. *)
 
+exception Server_crashed of { server_id : int }
+(** The server died while the client executed inside its space; the
+    client was forced back to its own EPT (§7 recovery). *)
+
+exception Binding_revoked of { server_id : int }
+(** The binding was revoked (EPT fault, revocation storm, reaping) and
+    the call could not proceed on the direct path. *)
+
 exception Wx_violation of { pid : int; va : int }
 (** A process stored to one of its executable pages (§9 W^X). *)
 
@@ -49,7 +57,68 @@ val stats : t -> Sky_kernels.Breakdown.t
 
 val calls : t -> int
 val evictions : t -> int
+
 val security_events : t -> string list
+(** Newest-first contents of the bounded security-event ring (capacity
+    {!security_ring_capacity}); older events are dropped and counted. *)
+
+val security_events_dropped : t -> int
+
+val security_ring_capacity : int
+
+type call_error =
+  | Timeout of { server_id : int; elapsed : int }
+      (** §7 watchdog: the server overran the cycle budget; the client
+          was forced back to its own EPT with registers restored. *)
+  | Crashed of { server_id : int }
+      (** The server died mid-call; its connections were reaped. *)
+  | Revoked of { server_id : int }
+      (** The binding was revoked out from under the call. *)
+
+val call :
+  t ->
+  core:int ->
+  client:Sky_ukernel.Proc.t ->
+  server_id:int ->
+  ?timeout:int ->
+  ?attack:[ `Fake_server_key | `Corrupt_return_key ] ->
+  bytes ->
+  (bytes * [ `Direct | `Slowpath ], call_error) result
+(** Recovery-aware direct call: like {!direct_server_call} but the §7
+    watchdog is armed by default ([timeout] defaults to 1M cycles) and
+    abnormal outcomes surface as typed errors instead of exceptions. A
+    revoked binding transparently degrades to the kernel-mediated
+    slowpath ([`Slowpath]). Every error path forces the client back to
+    its own EPT (VMFUNC-0 + saved-register restore) first. *)
+
+val revoke_binding :
+  t -> core:int -> Sky_ukernel.Proc.t -> server_id:int -> reason:string -> unit
+(** Tear down one binding: remove it (the EPTP slot degenerates to the
+    client's own EPT root, keeping slot positions stable), zero the
+    calling-key table entry, refresh installed EPTP lists, and log a
+    security event. Subsequent {!call}s fall back to the slowpath. *)
+
+val restart_server : t -> server_id:int -> unit
+(** Revive a crashed server and rebind every orphaned connection with
+    fresh keys and binding EPTs. No-op if the server is not dead. *)
+
+val rebind : t -> Sky_ukernel.Proc.t -> server_id:int -> unit
+(** Re-establish a single revoked binding (fresh key, fresh EPT). *)
+
+val dead_servers : t -> int list
+val degraded_calls : t -> int
+val forced_returns : t -> int
+val restarts : t -> int
+
+val call_state : t -> core:int -> (int * int) option
+(** Per-connection call state: [Some (server_id, since)] while the
+    client on [core] executes inside a server's space (innermost frame),
+    [None] when idle. *)
+
+val thread_regs : t -> Sky_ukernel.Proc.t -> int64 array
+(** The process's modelled register file (16 GPRs, indexed by
+    {!Sky_isa.Reg.encoding}) — what the trampoline saves on call entry
+    and what a §7 forced return must restore. *)
 
 val register_server :
   t ->

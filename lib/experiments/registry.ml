@@ -34,6 +34,8 @@ let all =
       run = Exp_extensions.run_tempmap };
     { id = "scheduling"; title = "Extension: lazy vs Benno scheduling (SS8.1)";
       run = Exp_scheduling.run };
+    { id = "chaos"; title = "Chaos: fault storm + crash recovery census (SS7)";
+      run = Exp_chaos.run };
     { id = "ycsbmix"; title = "Extension: YCSB A/B/C mix sensitivity";
       run = Exp_extensions.run_ycsb_mix };
   ]

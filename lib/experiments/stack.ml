@@ -23,18 +23,24 @@ type t = {
   machine : Sky_sim.Machine.t;
   kernel : Kernel.t;
   client : Proc.t;
-  fs : Fs.t;  (** server-side handle, for stats *)
+  fs_cell : Fs.t ref;  (** server-side handle; {!remount} swaps it *)
   iface : Fs_iface.t;  (** client-side view over the transport *)
   db : Sky_sqldb.Db.t;
   sb : Sky_core.Subkernel.t option;
   ramdisk : Ramdisk.t;
+  rstats : Sky_core.Retry.stats option;
+  remount : (unit -> unit) option;  (** Skybridge: remount after a crash *)
 }
+
+let fs t = !(t.fs_cell)
+let retry_stats t = t.rstats
 
 let fs_server_core = 1
 let disk_server_core = 2
 
 let build ?(variant = Config.Sel4) ?(kpti = false) ?(cores = 8)
-    ?(disk_blocks = 16384) ?(value_size = 100) ~transport () =
+    ?(disk_blocks = 16384) ?(value_size = 100) ?(resilient = false) ~transport
+    () =
   let machine = Sky_sim.Machine.create ~cores ~mem_mib:128 () in
   let config = { (Config.default variant) with Config.kpti } in
   let kernel = Kernel.create ~config machine in
@@ -44,7 +50,10 @@ let build ?(variant = Config.Sel4) ?(kpti = false) ?(cores = 8)
   let client = Kernel.spawn kernel ~name:"client" in
   let fs_proc = Kernel.spawn kernel ~name:"xv6fs" in
   let disk_proc = Kernel.spawn kernel ~name:"blockdev" in
-  let sb, iface, fs =
+  let rstats =
+    if resilient then Some (Sky_core.Retry.create_stats ()) else None
+  in
+  let sb, iface, fs_cell, remount =
     match transport with
     | Ipc { st } ->
       let ipc = Sky_kernels.Ipc.create kernel in
@@ -64,7 +73,8 @@ let build ?(variant = Config.Sel4) ?(kpti = false) ?(cores = 8)
       ( None,
         Fs_iface.over_call (fun ~core msg ->
             Sky_kernels.Ipc.call ipc ~core ~client fs_ep msg),
-        fs )
+        ref fs,
+        None )
     | Skybridge ->
       let sb = Sky_core.Subkernel.init kernel in
       let disk_sid =
@@ -72,25 +82,44 @@ let build ?(variant = Config.Sel4) ?(kpti = false) ?(cores = 8)
           ~connection_count:cores (Disk.handler kernel ramdisk)
       in
       Sky_core.Subkernel.register_client_to_server sb fs_proc ~server_id:disk_sid;
-      let fs =
-        Fs.mount kernel
-          (Disk.over_skybridge sb ~client:fs_proc ~server_id:disk_sid)
-          ~core:0
-      in
+      let sdisk = Disk.over_skybridge sb ~client:fs_proc ~server_id:disk_sid in
+      let fs_cell = ref (Fs.mount kernel sdisk ~core:0) in
+      (* Handler indirection: a crash-recovery remount swaps the Fs.t
+         (running log recovery off the surviving ramdisk) without
+         re-registering the server. *)
+      let fs_handler ~core msg = Fs_iface.server_handler !fs_cell ~core msg in
       let fs_sid =
         Sky_core.Subkernel.register_server sb fs_proc ~connection_count:cores
-          ~deps:[ disk_sid ] (Fs_iface.server_handler fs)
+          ~deps:[ disk_sid ] fs_handler
       in
       Sky_core.Subkernel.register_client_to_server sb client ~server_id:fs_sid;
-      ( Some sb,
-        Fs_iface.over_call (fun ~core msg ->
-            Sky_core.Subkernel.direct_server_call sb ~core ~client
-              ~server_id:fs_sid msg),
-        fs )
+      let remount () =
+        let rec go n =
+          try fs_cell := Fs.mount kernel sdisk ~core:0 with
+          | Sky_core.Subkernel.Server_crashed { server_id } when n > 0 ->
+            Sky_core.Subkernel.restart_server sb ~server_id;
+            go (n - 1)
+        in
+        go 3
+      in
+      let call =
+        if resilient then fun ~core msg ->
+          (* Any crash along the chain (FS or disk) invalidates the FS's
+             in-memory state: remount after the restart, which replays
+             or rolls back the on-disk log — each FS op stays atomic, so
+             the retried op re-applies cleanly. *)
+          Sky_core.Retry.call ?stats:rstats
+            ~on_crash:(fun _ -> remount ())
+            sb ~core ~client ~server_id:fs_sid msg
+        else fun ~core msg ->
+          Sky_core.Subkernel.direct_server_call sb ~core ~client
+            ~server_id:fs_sid msg
+      in
+      (Some sb, Fs_iface.over_call call, fs_cell, Some remount)
   in
   Kernel.context_switch kernel ~core:0 client;
   let db = Sky_sqldb.Db.create kernel iface ~core:0 ~name:"sqlite3" ~value_size in
-  { machine; kernel; client; fs; iface; db; sb; ramdisk }
+  { machine; kernel; client; fs_cell; iface; db; sb; ramdisk; rstats; remount }
 
 (* Make the client current on the cores a multi-threaded run will use. *)
 let spread_client t ~threads =

@@ -1,0 +1,135 @@
+type kind = Crash | Hang | Revoke | Ept_fault | Drop
+
+type trigger = At_cycle of int | At_hit of int | Every of int | Prob of float
+
+exception Injected of { site : string; kind : kind }
+
+let string_of_kind = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Revoke -> "revoke"
+  | Ept_fault -> "ept_fault"
+  | Drop -> "drop"
+
+type arm_state = {
+  a_kind : kind;
+  a_trigger : trigger;
+  mutable a_budget : int;
+  mutable a_hits : int;
+  mutable a_rng : int64;  (** per-arm splitmix64 state *)
+}
+
+(* Global singleton, mirroring Sky_trace.Trace: a disabled engine costs
+   one ref read per hook and zero simulated cycles. *)
+let enabled = ref false
+let scope = ref 0
+let seed_ref = ref 0
+let clock : (int -> int) ref = ref (fun _ -> 0)
+let arms : (string, arm_state list ref) Hashtbl.t = Hashtbl.create 16
+let fired_log : (string * kind * int) list ref = ref []
+
+(* Same mixer as Sky_sim.Rng (copied: sky_faults sits below sky_sim in
+   the dependency order so the sim's hot loop can host fault sites). *)
+let sm_next a =
+  let open Int64 in
+  let s = add a.a_rng 0x9E3779B97F4A7C15L in
+  a.a_rng <- s;
+  let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let sm_float a =
+  let bits = Int64.to_int (sm_next a) land ((1 lsl 53) - 1) in
+  float_of_int bits /. float_of_int (1 lsl 53)
+
+let reset ?(seed = 1) () =
+  Hashtbl.reset arms;
+  fired_log := [];
+  scope := 0;
+  seed_ref := seed;
+  enabled := true
+
+let disable () = enabled := false
+let is_enabled () = !enabled
+let set_clock f = clock := f
+let enter_scope () = incr scope
+let leave_scope () = if !scope > 0 then decr scope
+let in_scope () = !scope > 0
+
+let with_scope f =
+  enter_scope ();
+  Fun.protect ~finally:leave_scope f
+
+let arm ?(budget = 1) ~site ~kind trigger =
+  let lst =
+    match Hashtbl.find_opt arms site with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace arms site l;
+      l
+  in
+  (* Seed the arm's private stream from (engine seed, site, ordinal) so
+     firing schedules do not depend on how other sites interleave. *)
+  let ordinal = List.length !lst in
+  let a =
+    {
+      a_kind = kind;
+      a_trigger = trigger;
+      a_budget = budget;
+      a_hits = 0;
+      a_rng =
+        Int64.of_int (!seed_ref lxor Hashtbl.hash (site, ordinal) lxor 0x5b1d);
+    }
+  in
+  lst := !lst @ [ a ]
+
+let check ?(scoped = false) ~core site =
+  if not !enabled then None
+  else if scoped && !scope <= 0 then None
+  else
+    match Hashtbl.find_opt arms site with
+    | None -> None
+    | Some lst ->
+      let now = !clock core in
+      let rec go = function
+        | [] -> None
+        | a :: rest ->
+          if a.a_budget <= 0 then go rest
+          else begin
+            a.a_hits <- a.a_hits + 1;
+            let fires =
+              match a.a_trigger with
+              | At_cycle c -> now >= c
+              | At_hit n -> a.a_hits = n
+              | Every n -> n > 0 && a.a_hits mod n = 0
+              | Prob p -> sm_float a < p
+            in
+            if fires then begin
+              a.a_budget <- a.a_budget - 1;
+              fired_log := (site, a.a_kind, now) :: !fired_log;
+              Sky_trace.Trace.instant ~core ~cat:"fault" ("fault." ^ site);
+              Some a.a_kind
+            end
+            else go rest
+          end
+      in
+      go !lst
+
+let inject ~core site =
+  if !enabled then
+    match check ~scoped:true ~core site with
+    | Some kind -> raise (Injected { site; kind })
+    | None -> ()
+
+let fired () = List.rev !fired_log
+
+let fired_counts () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (site, _, _) ->
+      Hashtbl.replace tbl site
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl site)))
+    !fired_log;
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -168,6 +168,11 @@ let transfer t ~core ~src ~dst data =
 (* One direction of an IPC on a single core: kernel entry, logic, message
    transfer, switch to [target], kernel exit. *)
 let leg t ~core ~from_proc ~to_proc ~fast ~cross data (bd : Breakdown.t) =
+  (* Fault site "ipc.leg": the kernel-mediated transfer dies mid-leg
+     (fires only inside a mediated-call scope, e.g. the slowpath
+     fallback of a revoked SkyBridge binding). *)
+  if Sky_faults.Fault.is_enabled () then
+    Sky_faults.Fault.inject ~core "ipc.leg";
   Sky_trace.Trace.span ~core ~cat:"other" (leg_name t ~fast) @@ fun () ->
   let k = t.kernel in
   let cost = costs t in

@@ -89,9 +89,10 @@ type t = {
   rng : Rng.t;
   mutable live_keys : (bytes * bytes) list;  (** (key, plaintext value) *)
   mutable ops : int;
+  rstats : Sky_core.Retry.stats option;
 }
 
-let create ?sb ?ipc kernel config =
+let create ?sb ?ipc ?(resilient = false) kernel config =
   let machine = kernel.Kernel.machine in
   let rc4 = Rc4.create machine ~key:"skybridge-pipeline" in
   let kv = Kv_server.create machine in
@@ -111,6 +112,9 @@ let create ?sb ?ipc kernel config =
     touch_text kernel ~core kv_text_pa server_text;
     kv_h0 ~core msg
   in
+  let rstats =
+    if resilient then Some (Sky_core.Retry.create_stats ()) else None
+  in
   let finish client call_enc call_kv =
     let buf_va = Kernel.map_anon kernel client 4096 in
     let ws_va = Kernel.map_anon kernel client 16384 in
@@ -128,6 +132,7 @@ let create ?sb ?ipc kernel config =
       rng = Rng.create ~seed:0x6b76;
       live_keys = [];
       ops = 0;
+      rstats;
     }
   in
   match config with
@@ -172,11 +177,26 @@ let create ?sb ?ipc kernel config =
     let kv_sid = Sky_core.Subkernel.register_server sb kv_proc kv_h in
     Sky_core.Subkernel.register_client_to_server sb client ~server_id:enc_sid;
     Sky_core.Subkernel.register_client_to_server sb client ~server_id:kv_sid;
-    finish client
-      (fun ~core msg ->
-        Sky_core.Subkernel.direct_server_call sb ~core ~client ~server_id:enc_sid msg)
-      (fun ~core msg ->
-        Sky_core.Subkernel.direct_server_call sb ~core ~client ~server_id:kv_sid msg)
+    if resilient then
+      (* Bounded retry + exponential backoff around the recovery-aware
+         call: crashed servers are restarted, revoked bindings degrade
+         to the slowpath. Safe to retry: RC4 is stateless per message
+         and KV insert is idempotent. *)
+      finish client
+        (fun ~core msg ->
+          Sky_core.Retry.call ?stats:rstats sb ~core ~client
+            ~server_id:enc_sid msg)
+        (fun ~core msg ->
+          Sky_core.Retry.call ?stats:rstats sb ~core ~client ~server_id:kv_sid
+            msg)
+    else
+      finish client
+        (fun ~core msg ->
+          Sky_core.Subkernel.direct_server_call sb ~core ~client
+            ~server_id:enc_sid msg)
+        (fun ~core msg ->
+          Sky_core.Subkernel.direct_server_call sb ~core ~client
+            ~server_id:kv_sid msg)
 
 (* ---- client operations ---- *)
 
@@ -252,3 +272,5 @@ let run t ~core ~ops ~len =
       (Cpu.cycles cpu - t0)
   done;
   (Cpu.cycles cpu - start) / ops
+
+let retry_stats t = t.rstats

@@ -18,12 +18,19 @@ type t
 val create :
   ?sb:Sky_core.Subkernel.t ->
   ?ipc:Sky_kernels.Ipc.t ->
+  ?resilient:bool ->
   Sky_ukernel.Kernel.t ->
   config ->
   t
 (** Builds the processes, servers and client-side working sets.
     [Skybridge] requires [~sb]; the IPC configs create their own
-    {!Sky_kernels.Ipc.t} unless one is passed. *)
+    {!Sky_kernels.Ipc.t} unless one is passed. With [resilient] (default
+    false) the Skybridge client wraps every server call in
+    {!Sky_core.Retry.call}: bounded retry with exponential backoff,
+    server restart on crash, slowpath degradation on revocation. *)
+
+val retry_stats : t -> Sky_core.Retry.stats option
+(** The shared retry census when built with [~resilient:true]. *)
 
 val insert : t -> core:int -> len:int -> unit
 (** One insert: compose a [len]-byte key and value, encrypt via the

@@ -27,6 +27,10 @@ let ept_translate vcpu mem gpa =
    then the entry is read with a cached access. *)
 let guest_walk vcpu mem ~va =
   let cpu = Vcpu.cpu vcpu in
+  (* Fault site "mmu.walk": a spurious EPT violation (or crash) injected
+     into the nested walk — only fires inside a mediated-call scope. *)
+  if Sky_faults.Fault.is_enabled () then
+    Sky_faults.Fault.inject ~core:(Sky_sim.Cpu.id cpu) "mmu.walk";
   let rec go table_gpa level =
     let table_hpa = ept_translate vcpu mem table_gpa in
     let index = Page_table.va_index ~level va in

@@ -41,7 +41,12 @@ let charge t c =
   (* Attribute the charged cycles to the innermost open trace span's
      category. Recording reads the clock but never advances it, so cycle
      counts are identical with tracing on or off. *)
-  if Sky_trace.Trace.is_enabled () then Sky_trace.Trace.on_charge ~core:t.id c
+  if Sky_trace.Trace.is_enabled () then Sky_trace.Trace.on_charge ~core:t.id c;
+  (* Fault site "sim.cycle": an At_cycle arm fires at the first in-scope
+     charge whose TSC reading passed the target. One ref read when the
+     engine is off; never advances the clock. *)
+  if Sky_faults.Fault.is_enabled () then
+    Sky_faults.Fault.inject ~core:t.id "sim.cycle"
 
 let advance_to t c = if c > t.tsc then t.tsc <- c
 let l1i t = t.l1i

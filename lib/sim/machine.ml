@@ -27,6 +27,10 @@ let create ?(cores = 8) ?(mem_mib = 256) () =
   Sky_trace.Trace.set_clock (fun core ->
       if core >= 0 && core < Array.length t.cores then Cpu.cycles t.cores.(core)
       else 0);
+  (* The fault engine's At_cycle triggers read the same clock. *)
+  Sky_faults.Fault.set_clock (fun core ->
+      if core >= 0 && core < Array.length t.cores then Cpu.cycles t.cores.(core)
+      else 0);
   t
 
 let core t i = t.cores.(i)

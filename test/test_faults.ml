@@ -1,0 +1,537 @@
+(* Tests for the deterministic fault-plan engine (Sky_faults) and the
+   §7 crash-safe call recovery built on it: typed call errors, watchdog
+   forced returns with register restore, revocation + rebinding,
+   slowpath degradation, the security-event ring, trace integration,
+   and the qcheck crash sweeps. *)
+
+open Sky_sim
+open Sky_ukernel
+open Sky_core
+module Fault = Sky_faults.Fault
+
+(* Every test leaves the global engine disabled, whatever happens. *)
+let with_faults f = Fun.protect ~finally:Fault.disable f
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics (no machine: hand-cranked clock)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_triggers () =
+  with_faults @@ fun () ->
+  Fault.reset ~seed:1 ();
+  Fault.set_clock (fun _ -> 0);
+  Fault.arm ~site:"a" ~kind:Fault.Crash (Fault.At_hit 3);
+  Alcotest.(check bool) "hit 1" true (Fault.check ~core:0 "a" = None);
+  Alcotest.(check bool) "hit 2" true (Fault.check ~core:0 "a" = None);
+  Alcotest.(check bool) "hit 3 fires" true
+    (Fault.check ~core:0 "a" = Some Fault.Crash);
+  Alcotest.(check bool) "budget spent" true (Fault.check ~core:0 "a" = None);
+  Fault.arm ~budget:2 ~site:"b" ~kind:Fault.Hang (Fault.Every 2);
+  let fires =
+    List.init 8 (fun _ -> Fault.check ~core:0 "b" <> None)
+    |> List.filter Fun.id |> List.length
+  in
+  Alcotest.(check int) "every-2 with budget 2" 2 fires
+
+let test_at_cycle () =
+  with_faults @@ fun () ->
+  let t = ref 0 in
+  Fault.reset ~seed:1 ();
+  Fault.set_clock (fun _ -> !t);
+  Fault.arm ~site:"c" ~kind:Fault.Drop (Fault.At_cycle 100);
+  t := 50;
+  Alcotest.(check bool) "before cycle" true (Fault.check ~core:0 "c" = None);
+  t := 120;
+  Alcotest.(check bool) "past cycle" true
+    (Fault.check ~core:0 "c" = Some Fault.Drop);
+  Alcotest.(check (list (pair string int))) "fired log cycle" [ ("c", 1) ]
+    (Fault.fired_counts ());
+  match Fault.fired () with
+  | [ ("c", Fault.Drop, 120) ] -> ()
+  | _ -> Alcotest.fail "fired log should carry the firing cycle"
+
+let test_scope_gating () =
+  with_faults @@ fun () ->
+  Fault.reset ~seed:1 ();
+  Fault.set_clock (fun _ -> 0);
+  Fault.arm ~site:"s" ~kind:Fault.Crash (Fault.At_hit 1);
+  (* Out-of-scope scoped checks neither fire nor consume hits. *)
+  Alcotest.(check bool) "out of scope" true
+    (Fault.check ~scoped:true ~core:0 "s" = None);
+  Alcotest.(check bool) "still armed" true
+    (Fault.with_scope (fun () -> Fault.check ~scoped:true ~core:0 "s")
+    = Some Fault.Crash);
+  Alcotest.(check bool) "scope closed again" false (Fault.in_scope ())
+
+let test_deterministic_schedule () =
+  with_faults @@ fun () ->
+  let run ~seed ~interleave =
+    Fault.reset ~seed ();
+    Fault.set_clock (fun _ -> 0);
+    Fault.arm ~budget:1000 ~site:"p" ~kind:Fault.Crash (Fault.Prob 0.2);
+    Fault.arm ~budget:1000 ~site:"q" ~kind:Fault.Drop (Fault.Prob 0.2);
+    (* The q checks interleave differently between runs; p's per-arm
+       stream must not care. *)
+    let hits = ref [] in
+    for i = 1 to 200 do
+      if interleave && i mod 3 = 0 then ignore (Fault.check ~core:0 "q");
+      if Fault.check ~core:0 "p" <> None then hits := i :: !hits
+    done;
+    !hits
+  in
+  let a = run ~seed:42 ~interleave:false in
+  let b = run ~seed:42 ~interleave:true in
+  let c = run ~seed:43 ~interleave:false in
+  Alcotest.(check (list int)) "same seed, same schedule" a b;
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery over a real Subkernel                                      *)
+(* ------------------------------------------------------------------ *)
+
+let user_code = Sky_isa.Encode.encode_all [ Sky_isa.Insn.Nop; Sky_isa.Insn.Ret ]
+
+let spawn_with_code k name =
+  let p = Kernel.spawn k ~name in
+  ignore (Kernel.map_code k p user_code);
+  p
+
+let echo ~core:_ msg = msg
+
+let setup () =
+  let machine = Machine.create ~cores:4 ~mem_mib:64 () in
+  let k = Kernel.create machine in
+  let sb = Subkernel.init k in
+  let client = spawn_with_code k "client" in
+  let server = spawn_with_code k "server" in
+  let sid = Subkernel.register_server sb server echo in
+  Subkernel.register_client_to_server sb client ~server_id:sid;
+  Kernel.context_switch k ~core:0 client;
+  (k, sb, client, server, sid)
+
+let msg8 = Bytes.make 8 'm'
+
+let test_crash_typed_error_and_restart () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed:2 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Crashed { server_id }) ->
+    Alcotest.(check int) "crashed server id" sid server_id
+  | _ -> Alcotest.fail "expected Error Crashed");
+  Alcotest.(check (list int)) "server marked dead" [ sid ]
+    (Subkernel.dead_servers sb);
+  (* A call to a dead server fails fast with the typed error. *)
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Crashed _) -> ()
+  | _ -> Alcotest.fail "dead server must refuse calls");
+  Fault.disable ();
+  Subkernel.restart_server sb ~server_id:sid;
+  Alcotest.(check (list int)) "alive again" [] (Subkernel.dead_servers sb);
+  (* The restart rebound the orphaned connection: calls flow again. *)
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Ok (reply, `Direct) ->
+    Alcotest.(check bool) "echo" true (Bytes.equal reply msg8)
+  | _ -> Alcotest.fail "expected direct success after restart");
+  Alcotest.(check (list Alcotest.reject)) "audit clean" [] (Subkernel.audit sb)
+
+let test_drop_is_timeout () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed:2 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Drop (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Timeout _) -> ()
+  | _ -> Alcotest.fail "a dropped reply surfaces as a timeout");
+  Fault.disable ();
+  match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Ok (_, `Direct) -> ()
+  | _ -> Alcotest.fail "lost reply must not poison the binding"
+
+let test_hang_hits_watchdog () =
+  with_faults @@ fun () ->
+  let k, sb, client, _, sid = setup () in
+  let cpu = Kernel.cpu k ~core:0 in
+  Fault.reset ~seed:2 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Hang (Fault.At_hit 1);
+  let before = Cpu.cycles cpu in
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Timeout { elapsed; _ }) ->
+    Alcotest.(check bool) "elapsed past the default watchdog" true
+      (elapsed > 1_000_000)
+  | _ -> Alcotest.fail "expected watchdog timeout");
+  Alcotest.(check bool) "hang cycles were really burned" true
+    (Cpu.cycles cpu - before > 1_000_000);
+  Alcotest.(check bool) "forced return counted" true
+    (Subkernel.forced_returns sb > 0)
+
+let test_revoke_degrades_to_slowpath () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed:2 ();
+  Fault.arm ~site:"subkernel.call" ~kind:Fault.Revoke (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Ok (reply, `Slowpath) ->
+    Alcotest.(check bool) "echo over slowpath" true (Bytes.equal reply msg8)
+  | _ -> Alcotest.fail "revoked binding must degrade, not fail");
+  Fault.disable ();
+  (* Degradation is sticky until the client rebinds. *)
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Ok (_, `Slowpath) -> ()
+  | _ -> Alcotest.fail "still degraded before rebind");
+  Alcotest.(check bool) "degraded calls counted" true
+    (Subkernel.degraded_calls sb >= 2);
+  Subkernel.rebind sb client ~server_id:sid;
+  match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Ok (_, `Direct) -> ()
+  | _ -> Alcotest.fail "rebind must restore the direct path"
+
+let test_ept_fault_revokes_binding () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  (* Large message: the in-server copy walks guest page tables inside
+     the fault scope, where the armed EPT fault fires. *)
+  let big = Bytes.make 4096 'x' in
+  Fault.reset ~seed:2 ();
+  Fault.arm ~site:"mmu.walk" ~kind:Fault.Ept_fault (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid big with
+  | Error (Subkernel.Revoked { server_id }) ->
+    Alcotest.(check int) "revoked server id" sid server_id
+  | Ok _ -> Alcotest.fail "expected the EPT fault to abort the call"
+  | Error _ -> Alcotest.fail "expected Error Revoked");
+  Fault.disable ();
+  (* Revoked -> slowpath until rebound, then direct again. *)
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid big with
+  | Ok (_, `Slowpath) -> ()
+  | _ -> Alcotest.fail "revoked binding degrades to slowpath");
+  Subkernel.rebind sb client ~server_id:sid;
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid big with
+  | Ok (reply, `Direct) ->
+    Alcotest.(check bool) "payload intact" true (Bytes.equal reply big)
+  | _ -> Alcotest.fail "rebind must restore the direct path");
+  Alcotest.(check (list Alcotest.reject)) "audit clean" [] (Subkernel.audit sb)
+
+(* Satellite: §7 forced abort must restore the client's callee-saved
+   registers from the trampoline save area. *)
+let callee_saved = Sky_isa.Reg.[ Rbx; Rbp; Rsp; R12; R13; R14; R15 ]
+
+let test_forced_abort_restores_registers () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  let regs = Subkernel.thread_regs sb client in
+  let before = Array.copy regs in
+  Fault.reset ~seed:5 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected Error Crashed");
+  Fault.disable ();
+  List.iter
+    (fun r ->
+      let i = Sky_isa.Reg.encoding r in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s restored" (Sky_isa.Reg.name r))
+        before.(i) regs.(i))
+    callee_saved;
+  Alcotest.(check (list Alcotest.reject)) "trampoline.callee-saved holds" []
+    (Subkernel.audit sb);
+  (* Mutation check: an unrestored clobber must trip the audit rule. *)
+  let saved = regs.(Sky_isa.Reg.encoding Sky_isa.Reg.Rbx) in
+  regs.(Sky_isa.Reg.encoding Sky_isa.Reg.Rbx) <- 0xDEAD0000L;
+  Alcotest.(check bool) "clobber detected" true
+    (Sky_analysis.Report.has ~invariant:"trampoline.callee-saved"
+       (Subkernel.audit sb));
+  regs.(Sky_isa.Reg.encoding Sky_isa.Reg.Rbx) <- saved
+
+let test_timeout_restores_registers () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  let regs = Subkernel.thread_regs sb client in
+  let before = Array.copy regs in
+  Fault.reset ~seed:5 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Hang (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Timeout _) -> ()
+  | _ -> Alcotest.fail "expected watchdog timeout");
+  Fault.disable ();
+  List.iter
+    (fun r ->
+      let i = Sky_isa.Reg.encoding r in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s restored after timeout" (Sky_isa.Reg.name r))
+        before.(i) regs.(i))
+    callee_saved;
+  Alcotest.(check (list Alcotest.reject)) "audit clean" [] (Subkernel.audit sb)
+
+(* Satellite: the security-event ring is bounded and counts drops. *)
+let test_security_ring_bounded () =
+  let _, sb, client, _, sid = setup () in
+  for _ = 1 to Subkernel.security_ring_capacity + 50 do
+    try
+      ignore
+        (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid
+           ~attack:`Fake_server_key msg8)
+    with Subkernel.Bad_server_key _ -> ()
+  done;
+  Alcotest.(check int) "ring capped"
+    Subkernel.security_ring_capacity
+    (List.length (Subkernel.security_events sb));
+  Alcotest.(check bool) "drops counted" true
+    (Subkernel.security_events_dropped sb >= 50)
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_recovers_crash () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed:3 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 1);
+  let stats = Retry.create_stats () in
+  let reply = Retry.call ~stats sb ~core:0 ~client ~server_id:sid msg8 in
+  Fault.disable ();
+  Alcotest.(check bool) "echo after recovery" true (Bytes.equal reply msg8);
+  Alcotest.(check int) "one retry" 1 stats.Retry.retried_ok;
+  Alcotest.(check int) "one restart" 1 stats.Retry.restarts;
+  Alcotest.(check int) "nothing lost" 0 stats.Retry.lost
+
+let test_retry_gives_up () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed:3 ();
+  (* Crash on every dispatch: the budget outlasts the retry allowance. *)
+  Fault.arm ~budget:100 ~site:"server.server" ~kind:Fault.Crash (Fault.Every 1);
+  let stats = Retry.create_stats () in
+  (match Retry.call ~max_attempts:3 ~stats sb ~core:0 ~client ~server_id:sid msg8 with
+  | exception Retry.Gave_up (Subkernel.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected Gave_up");
+  Fault.disable ();
+  Alcotest.(check int) "loss counted" 1 stats.Retry.lost;
+  Alcotest.(check int) "all attempts burned" 3 stats.Retry.attempts
+
+(* ------------------------------------------------------------------ *)
+(* Trace integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_and_recovery_traced () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Sky_trace.Trace.clear ();
+  Sky_trace.Trace.enable ();
+  Fault.reset ~seed:4 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected Error Crashed");
+  Fault.disable ();
+  Subkernel.restart_server sb ~server_id:sid;
+  Sky_trace.Trace.disable ();
+  let events = Sky_trace.Trace.events () in
+  let have cat name =
+    List.exists
+      (fun e -> e.Sky_trace.Trace.cat = cat && e.Sky_trace.Trace.name = name)
+      events
+  in
+  Alcotest.(check bool) "fault instant" true (have "fault" "fault.server.server");
+  Alcotest.(check bool) "reap instant" true (have "recovery" "recovery.reap");
+  Alcotest.(check bool) "forced return span" true
+    (have "recovery" "recovery.forced_return");
+  Alcotest.(check bool) "restart instant" true
+    (have "recovery" "recovery.restart")
+
+let test_fault_trace_noop_when_disabled () =
+  with_faults @@ fun () ->
+  let _, sb, client, _, sid = setup () in
+  Sky_trace.Trace.clear ();
+  (* Tracing off: a firing fault must emit nothing. *)
+  Fault.reset ~seed:4 ();
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 1);
+  (match Subkernel.call sb ~core:0 ~client ~server_id:sid msg8 with
+  | Error (Subkernel.Crashed _) -> ()
+  | _ -> Alcotest.fail "expected Error Crashed");
+  Fault.disable ();
+  Alcotest.(check int) "no trace events" 0
+    (List.length (Sky_trace.Trace.events ()))
+
+let test_hooks_cycle_neutral () =
+  with_faults @@ fun () ->
+  let k, sb, client, _, sid = setup () in
+  let cpu = Kernel.cpu k ~core:0 in
+  let cost () =
+    let c0 = Cpu.cycles cpu in
+    ignore (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid msg8);
+    Cpu.cycles cpu - c0
+  in
+  ignore (cost ()) (* warm *);
+  let off = cost () in
+  Fault.reset ~seed:9 () (* enabled, nothing armed *);
+  let on = cost () in
+  Fault.arm ~site:"server.server" ~kind:Fault.Crash (Fault.At_hit 10_000);
+  let armed = cost () in
+  Fault.disable ();
+  Alcotest.(check int) "enabled engine costs no cycles" off on;
+  Alcotest.(check int) "non-firing arm costs no cycles" off armed
+
+(* ------------------------------------------------------------------ *)
+(* Determinism end-to-end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let storm_run seed =
+  let _, sb, client, _, sid = setup () in
+  Fault.reset ~seed ();
+  Fault.arm ~budget:3 ~site:"server.server" ~kind:Fault.Crash (Fault.Every 7);
+  Fault.arm ~budget:2 ~site:"sim.cycle" ~kind:Fault.Crash (Fault.Prob 1e-4);
+  let stats = Retry.create_stats () in
+  for _ = 1 to 40 do
+    ignore (Retry.call ~stats sb ~core:0 ~client ~server_id:sid msg8)
+  done;
+  Fault.disable ();
+  (Fault.fired (), stats.Retry.attempts, stats.Retry.restarts)
+
+let test_storm_deterministic () =
+  with_faults @@ fun () ->
+  let f1, a1, r1 = storm_run 11 in
+  let f2, a2, r2 = storm_run 11 in
+  Alcotest.(check bool) "identical fired logs" true (f1 = f2);
+  Alcotest.(check int) "identical attempts" a1 a2;
+  Alcotest.(check int) "identical restarts" r1 r2;
+  Alcotest.(check bool) "storm actually fired" true (List.length f1 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck crash sweeps                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let crash_sweep =
+  QCheck.Test.make
+    ~name:"crash at a random point -> typed error, clean audit, fresh binding works"
+    ~count:15
+    QCheck.(pair small_nat (int_bound 2))
+    (fun (seed, kidx) ->
+      with_faults @@ fun () ->
+      let k, sb, client, _, sid = setup () in
+      let cpu = Kernel.cpu k ~core:0 in
+      let big = Bytes.make 2048 'y' in
+      ignore (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid big);
+      Fault.reset ~seed ();
+      let kind =
+        match kidx with 0 -> Fault.Crash | 1 -> Fault.Drop | _ -> Fault.Ept_fault
+      in
+      (* A random in-call cycle: scoped, so it can only land while the
+         client executes inside the server's space. *)
+      Fault.arm ~site:"sim.cycle" ~kind
+        (Fault.At_cycle (Cpu.cycles cpu + 1 + (seed * 131 mod 997)));
+      let outcome = Subkernel.call sb ~core:0 ~client ~server_id:sid big in
+      Fault.disable ();
+      (* Whatever happened, the machine must audit clean... *)
+      if Subkernel.audit sb <> [] then false
+      else begin
+        (* ...and recovery must leave the connection usable. *)
+        (match outcome with
+        | Ok _ -> ()
+        | Error (Subkernel.Crashed { server_id }) ->
+          Subkernel.restart_server sb ~server_id
+        | Error (Subkernel.Revoked { server_id }) ->
+          Subkernel.rebind sb client ~server_id
+        | Error (Subkernel.Timeout _) -> ());
+        let reply =
+          Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid big
+        in
+        Bytes.equal reply big && Subkernel.audit sb = []
+      end)
+
+let fs_crash_sweep =
+  QCheck.Test.make
+    ~name:"fs crash sweep: restart + remount leave a consistent image"
+    ~count:5 QCheck.small_nat
+    (fun seed ->
+      with_faults @@ fun () ->
+      let stack =
+        Sky_experiments.Stack.build ~transport:Sky_experiments.Stack.Skybridge
+          ~resilient:true ~cores:2 ~disk_blocks:2048 ()
+      in
+      let db = stack.Sky_experiments.Stack.db in
+      let sb =
+        match stack.Sky_experiments.Stack.sb with
+        | Some sb -> sb
+        | None -> assert false
+      in
+      Fault.reset ~seed ();
+      Fault.arm ~budget:1 ~site:"server.xv6fs" ~kind:Fault.Crash
+        (Fault.At_hit (1 + (seed mod 13)));
+      Fault.arm ~budget:1 ~site:"sim.cycle" ~kind:Fault.Crash
+        (Fault.Prob 5e-5);
+      let v = Bytes.make 64 'z' in
+      for key = 0 to 29 do
+        Sky_sqldb.Db.insert db ~core:0 ~key ~value:v
+      done;
+      Fault.disable ();
+      let stats =
+        match Sky_experiments.Stack.retry_stats stack with
+        | Some s -> s
+        | None -> assert false
+      in
+      stats.Retry.lost = 0
+      && Sky_xv6fs.Fsck.check (Sky_experiments.Stack.fs stack) ~core:0 = []
+      && Subkernel.audit sb = [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "faults"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "triggers: at-hit / every / budget" `Quick
+            test_triggers;
+          Alcotest.test_case "at-cycle uses the installed clock" `Quick
+            test_at_cycle;
+          Alcotest.test_case "scoped sites only fire in scope" `Quick
+            test_scope_gating;
+          Alcotest.test_case "per-arm streams are interleaving-independent"
+            `Quick test_deterministic_schedule;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash -> typed error -> restart -> recovered"
+            `Quick test_crash_typed_error_and_restart;
+          Alcotest.test_case "dropped reply -> timeout" `Quick
+            test_drop_is_timeout;
+          Alcotest.test_case "hang -> watchdog forced return" `Quick
+            test_hang_hits_watchdog;
+          Alcotest.test_case "revocation degrades to slowpath" `Quick
+            test_revoke_degrades_to_slowpath;
+          Alcotest.test_case "EPT fault revokes the binding" `Quick
+            test_ept_fault_revokes_binding;
+          Alcotest.test_case "forced abort restores callee-saved regs" `Quick
+            test_forced_abort_restores_registers;
+          Alcotest.test_case "watchdog timeout restores callee-saved regs"
+            `Quick test_timeout_restores_registers;
+          Alcotest.test_case "security ring bounded with drop count" `Quick
+            test_security_ring_bounded;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "crash recovered within budget" `Quick
+            test_retry_recovers_crash;
+          Alcotest.test_case "persistent crash gives up with typed error"
+            `Quick test_retry_gives_up;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "fault + recovery events traced" `Quick
+            test_fault_and_recovery_traced;
+          Alcotest.test_case "no events when tracing disabled" `Quick
+            test_fault_trace_noop_when_disabled;
+          Alcotest.test_case "hooks are cycle-neutral" `Quick
+            test_hooks_cycle_neutral;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical storm" `Quick
+            test_storm_deterministic;
+        ] );
+      ("sweep", qc [ crash_sweep; fs_crash_sweep ]);
+    ]
