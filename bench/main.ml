@@ -154,6 +154,7 @@ let run_bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -166,12 +167,30 @@ let run_bechamel () =
         (fun result ->
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
-            Printf.printf "%-34s %12.0f ns/run\n%!"
-              (Test.Elt.name (List.hd (Test.elements test)))
-              est
+            let name = Test.Elt.name (List.hd (Test.elements test)) in
+            Printf.printf "%-34s %12.0f ns/run\n%!" name est;
+            collected := (name, est) :: !collected
           | _ -> ())
         results)
-    tests
+    tests;
+  (* Archive the host-side numbers alongside the simulated-cycle BENCH
+     artifacts (these are host-dependent, so no determinism gate). *)
+  let open Sky_trace.Json in
+  let j =
+    to_string
+      (Obj
+         [
+           ("bench", String "bechamel");
+           ( "results",
+             List
+               (List.rev_map
+                  (fun (name, est) ->
+                    Obj [ ("name", String name); ("ns_per_run", Float est) ])
+                  !collected) );
+         ])
+  in
+  let path = Sky_harness.Artifact.write ~name:"bechamel" j in
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   reproduce ();

@@ -21,8 +21,18 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let emit ~json tbl =
-  if json then print_endline (Sky_harness.Tbl.to_json tbl)
+(* With --json, every result is also archived as BENCH_<id>.json so CI
+   can glob one pattern and benchmark trajectories survive the run. *)
+let emit ?artifact ~json tbl =
+  if json then begin
+    let j = Sky_harness.Tbl.to_json tbl in
+    print_endline j;
+    match artifact with
+    | Some name ->
+      let path = Sky_harness.Artifact.write ~name j in
+      Printf.eprintf "wrote %s\n" path
+    | None -> ()
+  end
   else Sky_harness.Tbl.print tbl
 
 let run_one ~records ~ops ~json id =
@@ -34,12 +44,12 @@ let run_one ~records ~ops ~json id =
       | "fig10" -> Sky_ukernel.Config.Fiasco
       | _ -> Sky_ukernel.Config.Zircon
     in
-    emit ~json
+    emit ~artifact:id ~json
       (Sky_experiments.Exp_ycsb.run_variant
          ?records ?ops_per_thread:ops variant)
   | _ -> (
     match Sky_experiments.Registry.find id with
-    | Some e -> emit ~json (e.Sky_experiments.Registry.run ())
+    | Some e -> emit ~artifact:id ~json (e.Sky_experiments.Registry.run ())
     | None ->
       Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
       exit 1)
@@ -60,7 +70,8 @@ let run_cmd =
     if id = "all" then
       List.iter
         (fun e ->
-          emit ~json (e.Sky_experiments.Registry.run ());
+          emit ~artifact:e.Sky_experiments.Registry.id ~json
+            (e.Sky_experiments.Registry.run ());
           if not json then print_newline ())
         Sky_experiments.Registry.all
     else run_one ~records ~ops ~json id
@@ -195,6 +206,62 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ json)
 
+let web_cmd =
+  let doc =
+    "Run the web-serving macro-benchmark: closed-loop load generator → \
+     RSS NIC → N skyhttpd workers (one per core) → KV + xv6fs backends, \
+     sweeping worker counts 1..cores with the worker→backend hop over \
+     SkyBridge direct calls and over the baseline kernel's synchronous \
+     IPC. Writes BENCH_web.json with --json. Exit code 0 iff every \
+     request was served and validated, SkyBridge throughput beats the \
+     slowpath at every worker count, and SkyBridge throughput scales \
+     monotonically with workers."
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let cores =
+    Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Simulated cores (= max workers).")
+  in
+  let conns =
+    Arg.(
+      value
+      & opt int Sky_net.Web.default_conns
+      & info [ "conns" ] ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int Sky_net.Web.default_requests_per_conn
+      & info [ "requests" ] ~doc:"Requests per connection.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the results as JSON and write BENCH_web.json.")
+  in
+  let run seed cores conns requests json =
+    let r =
+      Sky_experiments.Exp_web.run_curve ~seed ~cores ~conns
+        ~requests_per_conn:requests ()
+    in
+    if json then begin
+      let j = Sky_experiments.Exp_web.to_json r in
+      print_endline j;
+      let path = Sky_harness.Artifact.write ~name:"web" j in
+      Printf.eprintf "wrote %s\n" path
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_web.table r);
+    if not (Sky_experiments.Exp_web.ok r) then begin
+      Printf.eprintf
+        "web: acceptance failed (served=%b sky-ahead=%b monotone=%b)\n"
+        (Sky_experiments.Exp_web.all_served r)
+        (Sky_experiments.Exp_web.sky_always_ahead r)
+        (Sky_experiments.Exp_web.sky_monotone r);
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "web" ~doc)
+    Term.(const run $ seed $ cores $ conns $ requests $ json)
+
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
   let run () =
@@ -212,4 +279,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "skybench" ~doc ~version:"1.0")
-          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd ]))
+          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd; web_cmd ]))

@@ -136,13 +136,66 @@ let run_fs ~seed =
     s_fsck = Some (List.length fsck);
   }
 
+(* ---- scenario C: the web stack under a worker + backend storm ---- *)
+
+(* skyhttpd workers crash mid-request (the ["server.httpd"] site checks
+   before any backend call, so the parked request replays cleanly) and
+   hang past the watchdog; the KV backend crashes at dispatch (state
+   untouched, Retry restarts and re-issues); the FS backend crashes
+   during the post-restart cache re-reads (a worker crash wipes its
+   static-file cache, so the big-locked FS is back on the serving path
+   until the cache re-warms — Retry remounts and retries). *)
+let web_storm seed =
+  Fault.reset ~seed ();
+  Fault.arm ~budget:3 ~site:Sky_net.Httpd.fault_site ~kind:Fault.Crash
+    (Fault.Every 23);
+  Fault.arm ~budget:1 ~site:Sky_net.Httpd.fault_site ~kind:Fault.Hang
+    (Fault.At_hit 50);
+  Fault.arm ~budget:2 ~site:"server.kvstore" ~kind:Fault.Crash (Fault.At_hit 40);
+  Fault.arm ~budget:1 ~site:"server.xv6fs" ~kind:Fault.Crash (Fault.At_hit 2)
+
+let run_web ~seed =
+  let w =
+    Sky_net.Web.build ~seed ~cores:4 ~conns:24 ~requests_per_conn:4 ~workers:3
+      ~transport:Sky_net.Web.Skybridge ()
+  in
+  let sb = match Sky_net.Web.subkernel w with Some sb -> sb | None -> assert false in
+  (* Arm after build: boot (preload through the FS) runs fault-free. *)
+  web_storm seed;
+  Sky_net.Web.run w;
+  Fault.disable ();
+  let st =
+    match Sky_net.Web.retry_stats w with Some s -> s | None -> assert false
+  in
+  let lg = Sky_net.Web.loadgen w in
+  let httpd = Sky_net.Web.httpd w in
+  let dropped =
+    Sky_net.Loadgen.expected lg - Sky_net.Loadgen.responses lg
+    + Sky_net.Loadgen.errors lg
+  in
+  let fsck = Sky_xv6fs.Fsck.check (Sky_net.Web.fs w) ~core:0 in
+  {
+    s_name = "web-skyhttpd";
+    s_attempts = st.Sky_core.Retry.attempts;
+    s_injected = Fault.fired_counts ();
+    s_recovered = st.Sky_core.Retry.retried_ok;
+    s_degraded = st.Sky_core.Retry.degraded;
+    s_lost = st.Sky_core.Retry.lost + dropped;
+    s_restarts = st.Sky_core.Retry.restarts + Sky_net.Httpd.restarts httpd;
+    s_forced_returns = Subkernel.forced_returns sb;
+    s_sec_dropped = Subkernel.security_events_dropped sb;
+    s_audit = List.length (Subkernel.audit sb);
+    s_fsck = Some (List.length fsck);
+  }
+
 (* ---- census ---- *)
 
 let run_chaos ~seed =
   let a = run_kv ~seed in
-  (* Decorrelate the two storms while keeping both functions of [seed]. *)
+  (* Decorrelate the storms while keeping each a function of [seed]. *)
   let b = run_fs ~seed:(seed lxor 0x5eed) in
-  { c_seed = seed; c_scenarios = [ a; b ] }
+  let c = run_web ~seed:(seed lxor 0x3eb) in
+  { c_seed = seed; c_scenarios = [ a; b; c ] }
 
 let clean c =
   List.for_all

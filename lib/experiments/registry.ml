@@ -36,6 +36,8 @@ let all =
       run = Exp_scheduling.run };
     { id = "chaos"; title = "Chaos: fault storm + crash recovery census (SS7)";
       run = Exp_chaos.run };
+    { id = "web"; title = "Web serving: throughput vs workers, SkyBridge vs slowpath IPC";
+      run = Exp_web.run };
     { id = "ycsbmix"; title = "Extension: YCSB A/B/C mix sensitivity";
       run = Exp_extensions.run_ycsb_mix };
   ]

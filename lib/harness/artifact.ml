@@ -1,0 +1,15 @@
+(** Benchmark artifacts: every machine-readable result a CI run should
+    archive is written as [BENCH_<name>.json] in the working directory,
+    so the workflow can glob one pattern and benchmark trajectories can
+    be compared across commits. *)
+
+let path_of name = Printf.sprintf "BENCH_%s.json" name
+
+let write ~name contents =
+  let path = path_of name in
+  let oc = open_out path in
+  output_string oc contents;
+  if contents = "" || contents.[String.length contents - 1] <> '\n' then
+    output_char oc '\n';
+  close_out oc;
+  path

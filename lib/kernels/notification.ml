@@ -8,13 +8,14 @@ type t = {
   name : string;
   mutable word : int;
   mutable pending : (int * int) list;  (** (virtual time, badge), oldest first *)
-  mutable waiter_core : int option;
+  mutable waiters : int list;  (** cores blocked in [wait], oldest first *)
   mutable signals : int;
   mutable waits : int;
+  mutable ipis : int;
 }
 
 let create kernel ~name =
-  { kernel; name; word = 0; pending = []; waiter_core = None; signals = 0; waits = 0 }
+  { kernel; name; word = 0; pending = []; waiters = []; signals = 0; waits = 0; ipis = 0 }
 
 let signal t ~core ~badge =
   t.signals <- t.signals + 1;
@@ -23,9 +24,17 @@ let signal t ~core ~badge =
   Cpu.charge cpu 120 (* signal fastpath: word update + waiter check *);
   t.word <- t.word lor badge;
   t.pending <- t.pending @ [ (Cpu.cycles cpu, badge) ];
-  (match t.waiter_core with
-  | Some w when w <> core -> Kernel.send_ipi t.kernel ~from_core:core ~to_core:w
-  | _ -> ());
+  (* Kick every blocked waiter: one IPI per remote core. N signals racing
+     a single wait coalesce — the word accumulates, the waiters are only
+     woken (and cleared) once. *)
+  List.iter
+    (fun w ->
+      if w <> core then begin
+        t.ipis <- t.ipis + 1;
+        Kernel.send_ipi t.kernel ~from_core:core ~to_core:w
+      end)
+    t.waiters;
+  t.waiters <- [];
   Kernel.kernel_exit t.kernel ~core
 
 let poll t ~core =
@@ -48,6 +57,7 @@ let wait t ~core =
     let w = t.word in
     t.word <- 0;
     t.pending <- [];
+    t.waiters <- List.filter (fun c -> c <> core) t.waiters;
     Kernel.kernel_exit t.kernel ~core;
     w
   in
@@ -61,10 +71,33 @@ let wait t ~core =
     deliver ()
   end
   else begin
-    t.waiter_core <- Some core;
+    if not (List.mem core t.waiters) then t.waiters <- t.waiters @ [ core ];
     Kernel.kernel_exit t.kernel ~core;
     raise Would_block
   end
 
+(* The documented poll loop for IRQ consumers (the NIC driver path): try
+   to consume; on empty, stay registered as a waiter and burn [poll]
+   cycles per round, up to [polls] rounds. In a single-threaded
+   simulation a signal can only arrive between invocations (when the
+   signaling core runs), so callers embed this in a run loop — e.g.
+   {!Sky_sim.Machine.interleave} — and treat [None] as "idle, let the
+   other cores run". *)
+let wait_blocking ?(poll = 200) ?(polls = 1) t ~core =
+  let cpu = Kernel.cpu t.kernel ~core in
+  let rec go n =
+    match wait t ~core with
+    | w -> Some w
+    | exception Would_block ->
+      if n <= 0 then None
+      else begin
+        Cpu.charge cpu poll;
+        go (n - 1)
+      end
+  in
+  go polls
+
 let signals t = t.signals
 let waits t = t.waits
+let ipis t = t.ipis
+let waiting_cores t = t.waiters

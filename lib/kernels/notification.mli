@@ -13,8 +13,9 @@ type t
 val create : Sky_ukernel.Kernel.t -> name:string -> t
 
 val signal : t -> core:int -> badge:int -> unit
-(** Kernel entry + OR the badge in + (when a cross-core waiter is
-    blocked) one IPI. *)
+(** Kernel entry + OR the badge in + one IPI per blocked cross-core
+    waiter. Waiters are woken (and deregistered) exactly once however
+    many signals coalesce before they run. *)
 
 val poll : t -> core:int -> int option
 (** Non-blocking: the accumulated word, or [None] when empty. *)
@@ -26,5 +27,21 @@ val wait : t -> core:int -> int
 
 exception Would_block
 
+val wait_blocking : ?poll:int -> ?polls:int -> t -> core:int -> int option
+(** [wait_blocking t ~core] is the ergonomic wrapper around {!wait}'s
+    [Would_block]: consume the word if one is pending (advancing to its
+    delivery time), otherwise register as a waiter, charge [poll]
+    (default 200) cycles per retry for up to [polls] (default 1) rounds,
+    and return [None]. [None] means "block": the caller's run loop
+    (e.g. {!Sky_sim.Machine.interleave}) should let other cores — the
+    signalers — run and then re-poll; the registered waiter guarantees
+    the wakeup IPI is delivered cross-core when the signal lands. *)
+
 val signals : t -> int
 val waits : t -> int
+
+val ipis : t -> int
+(** Cross-core wakeup IPIs sent by {!signal}. *)
+
+val waiting_cores : t -> int list
+(** Cores currently blocked in {!wait}, oldest first. *)

@@ -1,0 +1,23 @@
+(** Tiny single-line HTTP-style codec: [GET /kv/<key>],
+    [PUT /kv/<key> <value>], [GET /fs/<name>]; responses are
+    [<status> <body>]. Pure functions — the server charges parse cycles
+    itself. *)
+
+type request =
+  | Kv_get of string
+  | Kv_put of string * bytes
+  | Fs_get of string
+
+type response = { status : int; body : bytes }
+
+exception Bad_request of string
+
+val parse_request : bytes -> request
+val serialize_request : request -> bytes
+val parse_response : bytes -> response
+val serialize_response : response -> bytes
+
+val ok : bytes -> response
+val not_found : response
+val bad_request : response
+val server_error : response

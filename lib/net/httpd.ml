@@ -1,0 +1,289 @@
+(** skyhttpd: an N-worker HTTP-style server over the simulated NIC.
+
+    One worker process per simulated core (worker [i] is pinned to core
+    [i], serving NIC queue [i] — the RSS layout). Each worker runs an
+    event loop written against {!Sky_sim.Machine.interleave}: wake on the
+    queue's RX notification, drain the socket layer, parse each request
+    and serve it by calling the KV and FS {e backends} through whatever
+    transport the worker's bindings carry — mediated SkyBridge calls on
+    the fast path, each baseline kernel's synchronous IPC on the
+    slowpath variant.
+
+    Worker scheduling is wired through {!Sky_kernels.Scheduler} (Benno):
+    the per-core run queue holds the worker thread exactly while its
+    queue has work, so IRQ wakeups and idle blocking charge the real
+    O(1) queue operations.
+
+    Fault site ["server.httpd"]: a [Crash] kills the worker mid-request
+    (the §7 story applied to the application tier). The in-flight
+    request is parked, the worker's server bindings are revoked, and the
+    supervisor restarts it after {!restart_cycles}, re-binding
+    (PR 3 machinery) and replaying the parked request — no request is
+    ever lost. [Hang] burns cycles past the watchdog budget, surfacing
+    as a tail-latency spike. *)
+
+open Sky_sim
+open Sky_ukernel
+module Fault = Sky_faults.Fault
+module Scheduler = Sky_kernels.Scheduler
+module Notification = Sky_kernels.Notification
+
+let worker_text = 6 * 1024 (* request-handling instruction working set *)
+let parse_base = 300
+let parse_per_byte = 2
+let respond_base = 150
+let respond_per_byte = 1
+let cache_hit_base = 250 (* static-file cache: hash lookup + header copy *)
+let hang_cycles = 60_000
+let restart_cycles = 25_000 (* exec + dynamic linking of a fresh worker *)
+
+(* Typed backend bindings, one set per worker. The closures capture the
+   worker's process and transport (SkyBridge direct calls or baseline
+   kernel IPC); [revoke]/[rebind] tear down and re-establish the
+   worker's server bindings around a crash. *)
+type binding = {
+  kv_put : core:int -> key:string -> value:bytes -> bool;
+  kv_get : core:int -> key:string -> bytes option;
+  fs_read : core:int -> name:string -> bytes option;
+  revoke : core:int -> unit;
+  rebind : core:int -> unit;
+}
+
+type worker_state =
+  | Running
+  | Dead of int  (** crashed; restart completes at this cycle *)
+
+type worker = {
+  w_core : int;
+  w_proc : Proc.t;
+  w_sched : Scheduler.t;  (** this core's run queue *)
+  w_thread : Scheduler.thread;
+  w_binding : binding;
+  w_text_pa : int;
+  w_cache : (string, bytes) Hashtbl.t;
+      (** static-file cache: xv6fs is hit only on cold misses (the
+          big-locked FS would otherwise convoy every worker, §8.1);
+          wiped when the worker crashes, like any process-local state *)
+  mutable w_state : worker_state;
+  mutable w_inflight : (Socket.conn * bytes) option;
+      (** request being served when the worker crashed — replayed *)
+  mutable w_served : int;
+  mutable w_restarts : int;
+  mutable w_hangs : int;
+  mutable w_fs_cold : int;  (** cache misses served through the FS *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  nic : Nic.t;
+  socks : Socket.t;
+  workers : worker array;
+  queue_done : queue:int -> bool;
+  mutable served : int;
+  mutable bad_requests : int;
+}
+
+let fault_site = "server.httpd"
+
+exception Worker_crashed
+
+let create ?(preload = []) kernel nic ~workers:procs ~queue_done =
+  let n = Array.length procs in
+  if n = 0 then invalid_arg "Httpd.create: no workers";
+  if n > Nic.n_queues nic then invalid_arg "Httpd.create: more workers than queues";
+  if n > Machine.n_cores kernel.Kernel.machine then
+    invalid_arg "Httpd.create: more workers than cores";
+  let socks = Socket.create kernel nic in
+  let workers =
+    Array.init n (fun i ->
+        let proc, binding = procs.(i) in
+        let text_pa =
+          Sky_mem.Frame_alloc.alloc_frames (Kernel.alloc kernel)
+            ~count:((worker_text + 4095) / 4096)
+        in
+        let sched = Scheduler.create Scheduler.Benno in
+        let thread = Scheduler.spawn_thread sched ~tid:i in
+        Nic.pin nic ~queue:i ~core:i;
+        {
+          w_core = i;
+          w_proc = proc;
+          w_sched = sched;
+          w_thread = thread;
+          w_binding = binding;
+          w_text_pa = text_pa;
+          w_cache = Hashtbl.create 16;
+          w_state = Running;
+          w_inflight = None;
+          w_served = 0;
+          w_restarts = 0;
+          w_hangs = 0;
+          w_fs_cold = 0;
+        })
+  in
+  let t = { kernel; nic; socks; workers; queue_done; served = 0; bad_requests = 0 } in
+  (* Boot: each worker preloads the static assets named in [preload]
+     through its backend binding (the whole worker fleet reading through
+     the big-locked FS is exactly the convoy the cache exists to avoid —
+     paid once here, at startup), then blocks in recv before any traffic
+     arrives, so the first deliveries take the cross-core IRQ path. *)
+  Array.iter
+    (fun w ->
+      let cpu = Kernel.cpu kernel ~core:w.w_core in
+      Kernel.context_switch kernel ~core:w.w_core w.w_proc;
+      List.iter
+        (fun name ->
+          match w.w_binding.fs_read ~core:w.w_core ~name with
+          | Some data ->
+            w.w_fs_cold <- w.w_fs_cold + 1;
+            Hashtbl.replace w.w_cache name data
+          | None -> ())
+        preload;
+      Scheduler.block w.w_sched cpu w.w_thread;
+      ignore
+        (Notification.wait_blocking ~polls:0 (Nic.irq nic ~queue:w.w_core) ~core:w.w_core))
+    workers;
+  t
+
+let served t = t.served
+let bad_requests t = t.bad_requests
+let restarts t = Array.fold_left (fun a w -> a + w.w_restarts) 0 t.workers
+let hangs t = Array.fold_left (fun a w -> a + w.w_hangs) 0 t.workers
+let fs_cold t = Array.fold_left (fun a w -> a + w.w_fs_cold) 0 t.workers
+let worker_served t i = t.workers.(i).w_served
+
+(* ---- request handling ---- *)
+
+let check_fault t w =
+  match Fault.check ~core:w.w_core fault_site with
+  | Some Fault.Crash -> raise Worker_crashed
+  | Some Fault.Hang ->
+    w.w_hangs <- w.w_hangs + 1;
+    Kernel.user_compute t.kernel ~core:w.w_core ~cycles:hang_cycles
+  | Some (Fault.Drop | Fault.Revoke | Fault.Ept_fault) | None -> ()
+
+let dispatch t w req =
+  let core = w.w_core in
+  match req with
+  | Http.Kv_put (key, value) ->
+    if w.w_binding.kv_put ~core ~key ~value then Http.ok (Bytes.of_string "stored")
+    else Http.server_error
+  | Http.Kv_get key -> (
+    match w.w_binding.kv_get ~core ~key with
+    | Some v -> Http.ok v
+    | None -> Http.not_found)
+  | Http.Fs_get name -> (
+    match Hashtbl.find_opt w.w_cache name with
+    | Some data ->
+      Kernel.user_compute t.kernel ~core
+        ~cycles:(cache_hit_base + (Bytes.length data / 16));
+      Http.ok data
+    | None -> (
+      match w.w_binding.fs_read ~core ~name with
+      | Some data ->
+        w.w_fs_cold <- w.w_fs_cold + 1;
+        Hashtbl.replace w.w_cache name data;
+        Http.ok data
+      | None -> Http.not_found))
+
+let handle t w conn payload =
+  let core = w.w_core in
+  let cpu = Kernel.cpu t.kernel ~core in
+  Sky_trace.Trace.span ~core ~cat:"web" "web.serve" (fun () ->
+      (* The crash point: mid-request, after the packet left the ring. *)
+      check_fault t w;
+      Memsys.touch_range_state_only cpu Memsys.Insn ~pa:w.w_text_pa ~len:worker_text;
+      Cpu.charge cpu (parse_base + (parse_per_byte * Bytes.length payload));
+      let response =
+        match Http.parse_request payload with
+        | req -> dispatch t w req
+        | exception Http.Bad_request _ ->
+          t.bad_requests <- t.bad_requests + 1;
+          Http.bad_request
+      in
+      let wire = Http.serialize_response response in
+      Cpu.charge cpu (respond_base + (respond_per_byte * Bytes.length wire));
+      Socket.reply t.socks conn ~core wire;
+      w.w_served <- w.w_served + 1;
+      t.served <- t.served + 1)
+
+(* Crash bookkeeping: park the in-flight request, revoke the worker's
+   bindings (they are re-established on restart — the PR 3 revoke/rebind
+   machinery), and schedule the restart. *)
+let crash t w ~inflight =
+  let core = w.w_core in
+  let cpu = Kernel.cpu t.kernel ~core in
+  Sky_trace.Trace.instant ~core ~cat:"web" "web.worker-crash";
+  w.w_inflight <- inflight;
+  w.w_binding.revoke ~core;
+  w.w_state <- Dead (Cpu.cycles cpu + restart_cycles);
+  Scheduler.block w.w_sched cpu w.w_thread
+
+let restart t w =
+  let core = w.w_core in
+  let cpu = Kernel.cpu t.kernel ~core in
+  Sky_trace.Trace.instant ~core ~cat:"web" "web.worker-restart";
+  (* Fresh worker image: cold caches for its text, fresh bindings, and
+     an empty file cache — the restarted worker re-reads from the FS. *)
+  Hashtbl.reset w.w_cache;
+  Kernel.context_switch t.kernel ~core w.w_proc;
+  Kernel.user_compute t.kernel ~core ~cycles:restart_cycles;
+  w.w_binding.rebind ~core;
+  w.w_state <- Running;
+  w.w_restarts <- w.w_restarts + 1;
+  Scheduler.wake w.w_sched cpu w.w_thread
+
+(* ---- the per-core event loop, one quantum per call ---- *)
+
+let step t ~core =
+  let w = t.workers.(core) in
+  let cpu = Kernel.cpu t.kernel ~core in
+  match w.w_state with
+  | Dead at ->
+    if Cpu.cycles cpu >= at then begin
+      restart t w;
+      Machine.Progress
+    end
+    else Machine.Idle_until at
+  | Running -> (
+    (* Replay a request parked by a crash before touching the ring. *)
+    match w.w_inflight with
+    | Some (conn, payload) -> (
+      w.w_inflight <- None;
+      match handle t w conn payload with
+      | () -> Machine.Progress
+      | exception Worker_crashed ->
+        crash t w ~inflight:(Some (conn, payload));
+        Machine.Progress)
+    | None ->
+      if not (Scheduler.runnable w.w_thread) then begin
+        (* Blocked in recv: consume the RX notification if one is
+           pending (advancing to its delivery time), else stay blocked. *)
+        match Notification.wait_blocking (Nic.irq t.nic ~queue:core) ~core with
+        | Some _badge -> (
+          Scheduler.wake w.w_sched cpu w.w_thread;
+          match Scheduler.pick w.w_sched cpu with
+          | Some _ -> Machine.Progress
+          | None -> Machine.Progress)
+        | None ->
+          if t.queue_done ~queue:core then Machine.Done
+          else Machine.Idle
+      end
+      else begin
+        match Socket.service t.socks ~queue:core ~core with
+        | Some (Socket.Accepted _) -> Machine.Progress
+        | Some (Socket.Request (conn, payload)) -> (
+          match handle t w conn payload with
+          | () -> Machine.Progress
+          | exception Worker_crashed ->
+            crash t w ~inflight:(Some (conn, payload));
+            Machine.Progress)
+        | None ->
+          (* Ring drained: back to recv. *)
+          Scheduler.block w.w_sched cpu w.w_thread;
+          Machine.Progress
+      end)
+
+let run t =
+  let cores = Array.to_list (Array.init (Array.length t.workers) (fun i -> i)) in
+  Machine.interleave t.kernel.Kernel.machine ~cores ~step:(fun ~core ->
+      step t ~core)

@@ -1,0 +1,61 @@
+(** skyhttpd: N worker processes (worker [i] pinned to core [i], serving
+    NIC queue [i]) parsing HTTP-style requests and serving them through
+    per-worker backend {!binding}s — mediated SkyBridge calls on the fast
+    path, baseline kernel IPC on the slowpath variant.
+
+    Fault site ["server.httpd"]: [Crash] kills a worker mid-request; the
+    in-flight request is parked, bindings are revoked, and the worker is
+    restarted and re-bound (PR 3 machinery) with the request replayed —
+    zero lost requests. [Hang] shows up as a tail-latency spike. *)
+
+type binding = {
+  kv_put : core:int -> key:string -> value:bytes -> bool;
+  kv_get : core:int -> key:string -> bytes option;
+  fs_read : core:int -> name:string -> bytes option;
+  revoke : core:int -> unit;
+  rebind : core:int -> unit;
+}
+(** One worker's typed view of the backends, closed over its process and
+    transport. [revoke]/[rebind] bracket a worker crash/restart. *)
+
+type t
+
+val fault_site : string
+(** ["server.httpd"] — arm {!Sky_faults.Fault} here to crash/hang
+    workers mid-request. *)
+
+val restart_cycles : int
+
+val create :
+  ?preload:string list ->
+  Sky_ukernel.Kernel.t ->
+  Nic.t ->
+  workers:(Sky_ukernel.Proc.t * binding) array ->
+  queue_done:(queue:int -> bool) ->
+  t
+(** One worker per (process, binding) pair; worker [i] is pinned to core
+    [i] and parked blocked in recv on queue [i]'s IRQ. The caller spawns
+    the processes (they must already be registered as clients with
+    whatever transport the bindings use). [preload] names static files
+    each worker reads into its cache at boot, through its binding — the
+    startup cost of not convoying every request on the FS big lock.
+    [queue_done] is the load generator's per-queue exit test. *)
+
+val step : t -> core:int -> Sky_sim.Machine.step
+(** One event-loop quantum of [core]'s worker, for
+    {!Sky_sim.Machine.interleave}. *)
+
+val run : t -> unit
+(** Interleave all workers by virtual time until every queue is done. *)
+
+val served : t -> int
+val bad_requests : t -> int
+val restarts : t -> int
+val hangs : t -> int
+
+val fs_cold : t -> int
+(** Static-file cache misses served through the (big-locked) xv6fs
+    backend. Each worker pays one per file per lifetime — a crash wipes
+    its cache, so restarts re-read through the FS. *)
+
+val worker_served : t -> int -> int

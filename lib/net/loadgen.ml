@@ -1,0 +1,195 @@
+(** Closed-loop load generator on the wire side of the {!Nic}.
+
+    Models a fleet of clients one RTT away: each connection keeps exactly
+    one request outstanding, and the response's TX completion schedules
+    the next request [rtt] cycles later. Running on the wire side (the
+    NIC's DMA hooks) costs the simulated cores nothing — all charged
+    cycles belong to the server, as with a load generator on a separate
+    physical machine.
+
+    Flow placement is RSS-aware, like real load testers that pick source
+    ports to balance receive queues: connection [i] gets a flow id whose
+    RSS hash lands on queue [i mod n_queues], so offered load stays
+    balanced however many workers are configured.
+
+    Every response is validated against what the request should produce
+    (PUTs echo "stored", GETs return the value this connection previously
+    stored, file reads match the provisioned file), so lost, duplicated,
+    or corrupted requests surface as [errors] — the chaos experiment's
+    zero-lost-requests check. *)
+
+open Sky_sim
+
+type mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
+
+let default_mix = { m_kv_get = 6; m_kv_put = 2; m_fs_get = 2 }
+
+type expect =
+  | Stored
+  | Value of bytes
+  | File of bytes
+
+type flow_state = {
+  f_flow : int;
+  f_queue : int;
+  f_rng : Rng.t;
+  f_total : int;
+  mutable f_sent : int;  (** requests injected (= next packet seq) *)
+  mutable f_done : int;
+  mutable f_sent_at : int;
+  mutable f_expect : expect;
+  mutable f_puts : (string * bytes) list;  (** keys this flow stored *)
+}
+
+type t = {
+  nic : Nic.t;
+  mix : mix;
+  rtt : int;
+  files : (string * bytes) array;
+  flows : flow_state array;
+  by_flow : (int, flow_state) Hashtbl.t;
+  remaining : int array;  (** responses still owed, per queue *)
+  hist : Sky_trace.Histogram.t;
+  mutable responses : int;
+  mutable errors : int;
+}
+
+let value_bytes rng flow n =
+  let tag = Printf.sprintf "v%d-%d:" flow n in
+  let pad = Rng.bytes rng 32 in
+  (* printable payload so hexdumps stay readable *)
+  Bytes.iteri
+    (fun i c -> Bytes.set pad i (Char.chr (97 + (Char.code c land 15))))
+    pad;
+  Bytes.cat (Bytes.of_string tag) pad
+
+(* Pick connection [i]'s flow id so RSS steers it to queue [i mod nq] —
+   scan candidate ids (deterministically) until the hash cooperates. *)
+let place_flows nic ~conns =
+  let nq = Nic.n_queues nic in
+  let next = ref 1 in
+  Array.init conns (fun i ->
+      let target = i mod nq in
+      let rec hunt f =
+        if Nic.queue_of_flow nic f = target then begin
+          next := f + 1;
+          f
+        end
+        else hunt (f + 1)
+      in
+      hunt !next)
+
+let create nic ~seed ~mix ~conns ~requests_per_conn ~rtt ~files =
+  if conns <= 0 then invalid_arg "Loadgen.create: conns";
+  if requests_per_conn <= 0 then invalid_arg "Loadgen.create: requests_per_conn";
+  let nq = Nic.n_queues nic in
+  let flow_ids = place_flows nic ~conns in
+  let remaining = Array.make nq 0 in
+  let flows =
+    Array.mapi
+      (fun i flow ->
+        let queue = Nic.queue_of_flow nic flow in
+        remaining.(queue) <- remaining.(queue) + requests_per_conn;
+        {
+          f_flow = flow;
+          f_queue = queue;
+          f_rng = Rng.create ~seed:(seed + (i * 0x9e3779b9) + flow);
+          f_total = requests_per_conn;
+          f_sent = 0;
+          f_done = 0;
+          f_sent_at = 0;
+          f_expect = Stored;
+          f_puts = [];
+        })
+      flow_ids
+  in
+  let by_flow = Hashtbl.create (2 * conns) in
+  Array.iter (fun f -> Hashtbl.replace by_flow f.f_flow f) flows;
+  {
+    nic;
+    mix;
+    rtt;
+    files;
+    flows;
+    by_flow;
+    remaining;
+    hist = Sky_trace.Histogram.create ();
+    responses = 0;
+    errors = 0;
+  }
+
+(* Build connection [f]'s next request. The first request is always a
+   PUT (seeding the keyspace this connection will read back); after that
+   the mix weights decide, with GET falling back to PUT until the flow
+   has stored something. *)
+let next_request t f =
+  let n = f.f_sent in
+  let put () =
+    let key = Printf.sprintf "f%d-k%d" f.f_flow (List.length f.f_puts) in
+    let value = value_bytes f.f_rng f.f_flow n in
+    f.f_puts <- (key, value) :: f.f_puts;
+    f.f_expect <- Stored;
+    Http.Kv_put (key, value)
+  in
+  if n = 0 then put ()
+  else begin
+    let { m_kv_get; m_kv_put; m_fs_get } = t.mix in
+    let total = m_kv_get + m_kv_put + m_fs_get in
+    let roll = Rng.int f.f_rng total in
+    if roll < m_kv_get && f.f_puts <> [] then begin
+      let key, value = List.nth f.f_puts (Rng.int f.f_rng (List.length f.f_puts)) in
+      f.f_expect <- Value value;
+      Http.Kv_get key
+    end
+    else if roll < m_kv_get + m_kv_put || f.f_puts = [] || Array.length t.files = 0
+    then put ()
+    else begin
+      let name, data = t.files.(Rng.int f.f_rng (Array.length t.files)) in
+      f.f_expect <- File data;
+      Http.Fs_get name
+    end
+  end
+
+let inject t f ~at =
+  let payload = Http.serialize_request (next_request t f) in
+  let seq = f.f_sent in
+  f.f_sent <- seq + 1;
+  f.f_sent_at <- at;
+  Nic.deliver t.nic ~flow:f.f_flow ~seq ~payload ~at
+
+let validate t f (resp : Http.response) =
+  let good =
+    match f.f_expect with
+    | Stored -> resp.status = 200 && Bytes.to_string resp.body = "stored"
+    | Value v -> resp.status = 200 && Bytes.equal resp.body v
+    | File data -> resp.status = 200 && Bytes.equal resp.body data
+  in
+  if not good then t.errors <- t.errors + 1
+
+(* TX-completion hook: account the response, then keep the loop closed by
+   scheduling the connection's next request one RTT out. *)
+let on_response t (pkt : Nic.pkt) =
+  match Hashtbl.find_opt t.by_flow pkt.Nic.flow with
+  | None -> t.errors <- t.errors + 1
+  | Some f ->
+    (match Http.parse_response pkt.Nic.payload with
+    | resp -> validate t f resp
+    | exception Http.Bad_request _ -> t.errors <- t.errors + 1);
+    Sky_trace.Histogram.add t.hist (pkt.Nic.deliver_at - f.f_sent_at);
+    f.f_done <- f.f_done + 1;
+    t.responses <- t.responses + 1;
+    t.remaining.(f.f_queue) <- t.remaining.(f.f_queue) - 1;
+    if f.f_done < f.f_total then inject t f ~at:(pkt.Nic.deliver_at + t.rtt)
+
+let start t ~at =
+  Nic.set_on_tx t.nic (on_response t);
+  (* SYNs arrive staggered, as from clients with distinct path delays. *)
+  Array.iteri (fun i f -> inject t f ~at:(at + (i * 57))) t.flows
+
+let queue_done t ~queue = t.remaining.(queue) = 0
+let finished t = Array.for_all (fun r -> r = 0) t.remaining
+let responses t = t.responses
+let errors t = t.errors
+let expected t = Array.fold_left (fun a f -> a + f.f_total) 0 t.flows
+let latencies t = t.hist
+let conns t = Array.length t.flows

@@ -1,0 +1,267 @@
+(** The whole web-serving stack, assembled end to end:
+
+    load generator → NIC (RSS over [workers] queues) → skyhttpd workers
+    (one per core) → KV store + xv6fs/RAM-disk backends, with the
+    worker→backend hop carried either by mediated SkyBridge direct calls
+    ([Skybridge]) or by the configured baseline kernel's synchronous IPC
+    ([Ipc] — the slowpath variant, MT-server so every call at least
+    takes the kernel's local path).
+
+    Worker [i] is pinned to core [i]; backend handlers run on the
+    calling worker's core in the server's address space, exactly as a
+    direct server call (or local IPC) executes them. All worker calls go
+    through {!Sky_core.Retry.call} on the SkyBridge path, so backend
+    crashes injected by the chaos experiment recover transparently. *)
+
+open Sky_sim
+open Sky_ukernel
+open Sky_blockdev
+open Sky_xv6fs
+module Kv_server = Sky_kvstore.Kv_server
+module Subkernel = Sky_core.Subkernel
+module Retry = Sky_core.Retry
+module Ipc = Sky_kernels.Ipc
+
+type transport = Ipc_slowpath | Skybridge
+
+let transport_name = function
+  | Ipc_slowpath -> "slowpath-IPC"
+  | Skybridge -> "SkyBridge"
+
+let default_conns = 120
+let default_requests_per_conn = 8
+let rtt = 2_000 (* wire round trip: client is "one switch away" *)
+let n_files = 4
+let file_bytes = 192
+let backend_text = 6 * 1024 (* KV server instruction working set *)
+
+type t = {
+  machine : Machine.t;
+  kernel : Kernel.t;
+  transport : transport;
+  workers : int;
+  nic : Nic.t;
+  httpd : Httpd.t;
+  lg : Loadgen.t;
+  sb : Subkernel.t option;
+  rstats : Retry.stats option;
+  fs_cell : Fs.t ref;
+  kv : Kv_server.t;
+  mutable elapsed : int;  (** busiest worker core's cycles across {!run} *)
+}
+
+(* ---- KV wire format (the store's own 'I'/'Q' protocol) ---- *)
+
+let kv_insert_msg ~key ~value =
+  let kb = Bytes.of_string key in
+  let b = Bytes.create (4 + Bytes.length kb + Bytes.length value) in
+  Bytes.set b 0 'I';
+  Bytes.set_uint16_le b 2 (Bytes.length kb);
+  Bytes.blit kb 0 b 4 (Bytes.length kb);
+  Bytes.blit value 0 b (4 + Bytes.length kb) (Bytes.length value);
+  b
+
+let kv_query_msg ~key =
+  let kb = Bytes.of_string key in
+  let b = Bytes.create (4 + Bytes.length kb) in
+  Bytes.set b 0 'Q';
+  Bytes.set_uint16_le b 2 (Bytes.length kb);
+  Bytes.blit kb 0 b 4 (Bytes.length kb);
+  b
+
+let kv_handler kv kernel ~text_pa : Ipc.handler =
+ fun ~core msg ->
+  let cpu = Kernel.cpu kernel ~core in
+  Memsys.touch_range_state_only cpu Memsys.Insn ~pa:text_pa ~len:backend_text;
+  let klen = Bytes.get_uint16_le msg 2 in
+  let key = Bytes.sub msg 4 klen in
+  match Bytes.get msg 0 with
+  | 'I' ->
+    let value = Bytes.sub msg (4 + klen) (Bytes.length msg - 4 - klen) in
+    Kv_server.insert kv cpu ~key ~value;
+    Bytes.of_string "ok"
+  | 'Q' -> (
+    match Kv_server.query kv cpu ~key with Some v -> v | None -> Bytes.empty)
+  | c -> invalid_arg (Printf.sprintf "web kv_handler: opcode %c" c)
+
+(* ---- typed worker bindings over either transport ---- *)
+
+let fs_read_of iface ~core ~name =
+  match iface.Fs_iface.lookup ~core name with
+  | None -> None
+  | Some inum ->
+    let len = iface.Fs_iface.size ~core inum in
+    Some (iface.Fs_iface.read ~core ~inum ~off:0 ~len)
+
+let binding_of_calls ~call_kv ~iface ~revoke ~rebind =
+  {
+    Httpd.kv_put =
+      (fun ~core ~key ~value ->
+        Bytes.to_string (call_kv ~core (kv_insert_msg ~key ~value)) = "ok");
+    kv_get =
+      (fun ~core ~key ->
+        let r = call_kv ~core (kv_query_msg ~key) in
+        if Bytes.length r = 0 then None else Some r);
+    fs_read = (fun ~core ~name -> fs_read_of iface ~core ~name);
+    revoke;
+    rebind;
+  }
+
+(* Provision the FS objects the load mix reads: deterministic printable
+   contents, written through the server-side handle before the run. *)
+let provision_files fs ~seed =
+  let rng = Rng.create ~seed:(seed lxor 0xf11e5) in
+  Array.init n_files (fun i ->
+      let name = Printf.sprintf "web%d.html" i in
+      let data = Bytes.create file_bytes in
+      let head = Printf.sprintf "<html>%d:" i in
+      Bytes.iteri
+        (fun j _ ->
+          if j < String.length head then Bytes.set data j head.[j]
+          else Bytes.set data j (Char.chr (97 + Rng.int rng 26)))
+        data;
+      let inum = Fs.create fs ~core:0 name in
+      Fs.write fs ~core:0 ~inum ~off:0 data;
+      (name, data))
+
+let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
+    ?(conns = default_conns) ?(requests_per_conn = default_requests_per_conn)
+    ?(mix = Loadgen.default_mix) ?(disk_blocks = 4096) ~workers ~transport () =
+  if workers < 1 || workers > cores then
+    invalid_arg "Web.build: workers must be in [1, cores]";
+  let machine = Machine.create ~cores ~mem_mib:128 () in
+  let kernel = Kernel.create ~config:(Config.default variant) machine in
+  (* Backends: KV store + xv6fs over a RAM disk. *)
+  let kv = Kv_server.create machine in
+  let kv_text_pa =
+    Sky_mem.Frame_alloc.alloc_frames (Kernel.alloc kernel)
+      ~count:((backend_text + 4095) / 4096)
+  in
+  let kv_h = kv_handler kv kernel ~text_pa:kv_text_pa in
+  let ramdisk = Ramdisk.create machine ~nblocks:disk_blocks in
+  let raw = Disk.direct kernel ramdisk in
+  Fs.mkfs kernel raw ~core:0 ~size:disk_blocks ~ninodes:64 ();
+  let kv_proc = Kernel.spawn kernel ~name:"kvstore" in
+  let fs_proc = Kernel.spawn kernel ~name:"xv6fs" in
+  let disk_proc = Kernel.spawn kernel ~name:"blockdev" in
+  let worker_procs = Array.init workers (fun _ -> Kernel.spawn kernel ~name:"httpd") in
+  let sb, rstats, fs_cell, bind =
+    match transport with
+    | Skybridge ->
+      let sb = Subkernel.init ~seed kernel in
+      let disk_sid =
+        Subkernel.register_server sb disk_proc ~connection_count:cores
+          (Disk.handler kernel ramdisk)
+      in
+      Subkernel.register_client_to_server sb fs_proc ~server_id:disk_sid;
+      let sdisk = Disk.over_skybridge sb ~client:fs_proc ~server_id:disk_sid in
+      let fs_cell = ref (Fs.mount kernel sdisk ~core:0) in
+      (* Handler indirection so a crash-recovery remount swaps the Fs.t
+         without re-registering the server (same trick as the SQLite
+         stack). *)
+      let fs_handler ~core msg = Fs_iface.server_handler !fs_cell ~core msg in
+      let fs_sid =
+        Subkernel.register_server sb fs_proc ~connection_count:cores
+          ~deps:[ disk_sid ] fs_handler
+      in
+      let kv_sid = Subkernel.register_server sb kv_proc ~connection_count:cores kv_h in
+      let rstats = Retry.create_stats () in
+      let remount () =
+        let rec go n =
+          try fs_cell := Fs.mount kernel sdisk ~core:0 with
+          | Subkernel.Server_crashed { server_id } when n > 0 ->
+            Subkernel.restart_server sb ~server_id;
+            go (n - 1)
+        in
+        go 3
+      in
+      let bind w_proc =
+        Subkernel.register_client_to_server sb w_proc ~server_id:fs_sid;
+        Subkernel.register_client_to_server sb w_proc ~server_id:kv_sid;
+        let call_kv ~core msg =
+          Retry.call ~stats:rstats sb ~core ~client:w_proc ~server_id:kv_sid msg
+        in
+        let call_fs ~core msg =
+          Retry.call ~stats:rstats
+            ~on_crash:(fun _ -> remount ())
+            sb ~core ~client:w_proc ~server_id:fs_sid msg
+        in
+        let iface = Fs_iface.over_call call_fs in
+        let sids = [ fs_sid; kv_sid ] in
+        binding_of_calls ~call_kv ~iface
+          ~revoke:(fun ~core ->
+            List.iter
+              (fun server_id ->
+                Subkernel.revoke_binding sb ~core w_proc ~server_id
+                  ~reason:"httpd worker crash")
+              sids)
+          ~rebind:(fun ~core ->
+            ignore core;
+            List.iter (fun server_id -> Subkernel.rebind sb w_proc ~server_id) sids)
+      in
+      (Some sb, Some rstats, fs_cell, bind)
+    | Ipc_slowpath ->
+      let ipc = Ipc.create kernel in
+      let disk_ep =
+        Ipc.register ipc disk_proc ~cores:[] (Disk.handler kernel ramdisk)
+      in
+      let fs = Fs.mount kernel (Disk.over_ipc ipc ~client:fs_proc disk_ep) ~core:0 in
+      let fs_ep = Ipc.register ipc fs_proc ~cores:[] (Fs_iface.server_handler fs) in
+      let kv_ep = Ipc.register ipc kv_proc ~cores:[] kv_h in
+      let bind w_proc =
+        let call_kv ~core msg = Ipc.call ipc ~core ~client:w_proc kv_ep msg in
+        let call_fs ~core msg = Ipc.call ipc ~core ~client:w_proc fs_ep msg in
+        let iface = Fs_iface.over_call call_fs in
+        binding_of_calls ~call_kv ~iface
+          ~revoke:(fun ~core -> ignore core)
+          ~rebind:(fun ~core -> ignore core)
+      in
+      (None, None, ref fs, bind)
+  in
+  let files = provision_files !fs_cell ~seed in
+  let nic = Nic.create kernel ~queues:workers in
+  let lg = Loadgen.create nic ~seed ~mix ~conns ~requests_per_conn ~rtt ~files in
+  let httpd =
+    Httpd.create kernel nic
+      ~preload:(Array.to_list (Array.map fst files))
+      ~workers:(Array.map (fun p -> (p, bind p)) worker_procs)
+      ~queue_done:(fun ~queue -> Loadgen.queue_done lg ~queue)
+  in
+  {
+    machine;
+    kernel;
+    transport;
+    workers;
+    nic;
+    httpd;
+    lg;
+    sb;
+    rstats;
+    fs_cell;
+    kv;
+    elapsed = 0;
+  }
+
+let run t =
+  Machine.sync_cores t.machine;
+  let start = Cpu.cycles (Machine.core t.machine 0) in
+  Loadgen.start t.lg ~at:(start + 500);
+  Httpd.run t.httpd;
+  let elapsed = ref 1 in
+  for core = 0 to t.workers - 1 do
+    let c = Cpu.cycles (Machine.core t.machine core) - start in
+    if c > !elapsed then elapsed := c
+  done;
+  t.elapsed <- !elapsed
+
+let throughput t =
+  Costs.ops_per_sec ~ops:(Loadgen.responses t.lg) ~cycles:(max 1 t.elapsed)
+
+let elapsed t = t.elapsed
+let loadgen t = t.lg
+let httpd t = t.httpd
+let nic t = t.nic
+let kernel t = t.kernel
+let subkernel t = t.sb
+let retry_stats t = t.rstats
+let fs t = !(t.fs_cell)

@@ -1,0 +1,52 @@
+(** End-to-end web-serving stack: closed-loop load generator → RSS NIC →
+    N skyhttpd workers (one per core) → KV + xv6fs backends, with the
+    worker→backend hop over SkyBridge direct calls or the baseline
+    kernel's synchronous IPC (the slowpath variant). *)
+
+type transport = Ipc_slowpath | Skybridge
+
+val transport_name : transport -> string
+
+type t
+
+val default_conns : int
+val default_requests_per_conn : int
+val rtt : int
+
+val build :
+  ?variant:Sky_ukernel.Config.variant ->
+  ?seed:int ->
+  ?cores:int ->
+  ?conns:int ->
+  ?requests_per_conn:int ->
+  ?mix:Loadgen.mix ->
+  ?disk_blocks:int ->
+  workers:int ->
+  transport:transport ->
+  unit ->
+  t
+(** Builds the machine, kernel, backends (KV store, xv6fs over a RAM
+    disk), NIC with [workers] queues, [workers] worker processes bound
+    to the backends over [transport], and the load generator.
+    SkyBridge workers call through {!Sky_core.Retry.call}, so injected
+    backend crashes recover transparently. *)
+
+val run : t -> unit
+(** Drive the whole stack by virtual time until every connection has
+    been answered. *)
+
+val throughput : t -> float
+(** Requests per simulated second, over the busiest worker core's
+    elapsed cycles. *)
+
+val elapsed : t -> int
+val loadgen : t -> Loadgen.t
+val httpd : t -> Httpd.t
+val nic : t -> Nic.t
+val kernel : t -> Sky_ukernel.Kernel.t
+val subkernel : t -> Sky_core.Subkernel.t option
+val retry_stats : t -> Sky_core.Retry.stats option
+
+val fs : t -> Sky_xv6fs.Fs.t
+(** The mounted xv6fs backend (post-recovery handle on the SkyBridge
+    path) — for fsck after a fault storm. *)

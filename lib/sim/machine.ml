@@ -42,3 +42,81 @@ let max_cycles t =
 let sync_cores t =
   let m = max_cycles t in
   Array.iter (fun c -> Cpu.advance_to c m) t.cores
+
+(* ---- virtual-time interleaved multi-core run loop ---- *)
+
+type step = Progress | Idle | Idle_until of int | Done
+
+exception Stuck of string
+
+let interleave t ~cores ~step =
+  let cores = Array.of_list cores in
+  if Array.length cores = 0 then invalid_arg "Machine.interleave: no cores";
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= Array.length t.cores then
+        invalid_arg "Machine.interleave: core out of range")
+    cores;
+  let n = Array.length cores in
+  let finished = Array.make n false in
+  let live () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if not finished.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  (* Consecutive steps with neither progress nor clock movement: the
+     deadlock guard. Closed systems always have a next event, so hitting
+     the bound means a step function lied about being Idle. *)
+  let idle_streak = ref 0 in
+  let max_idle_streak = 64 * n in
+  let rec loop () =
+    match live () with
+    | [] -> ()
+    | l ->
+      (* Run the core furthest behind in virtual time — the interleaving
+         rule that makes a single-threaded simulation behave like n
+         concurrent cores. *)
+      let i =
+        List.fold_left
+          (fun best j ->
+            if Cpu.cycles t.cores.(cores.(j)) < Cpu.cycles t.cores.(cores.(best))
+            then j
+            else best)
+          (List.hd l) (List.tl l)
+      in
+      let c = cores.(i) in
+      let cpu = t.cores.(c) in
+      let before = Cpu.cycles cpu in
+      (match step ~core:c with
+      | Progress -> idle_streak := 0
+      | Done ->
+        finished.(i) <- true;
+        idle_streak := 0
+      | Idle_until ts when ts > before ->
+        Cpu.advance_to cpu ts;
+        idle_streak := 0
+      | Idle | Idle_until _ ->
+        (* Nothing to do at this virtual time: hop past the next-lowest
+           live core so whoever can unblock us runs first. *)
+        let next =
+          List.fold_left
+            (fun acc j ->
+              if j = i then acc
+              else min acc (Cpu.cycles t.cores.(cores.(j))))
+            max_int l
+        in
+        if next < max_int then Cpu.advance_to cpu (next + 1)
+        else Cpu.charge cpu 64 (* lone core: poll tick *);
+        incr idle_streak;
+        if !idle_streak > max_idle_streak then
+          raise
+            (Stuck
+               (Printf.sprintf
+                  "Machine.interleave: %d idle steps with no progress \
+                   (cores stuck at cycle %d)"
+                  !idle_streak (Cpu.cycles cpu))));
+      loop ()
+  in
+  loop ()

@@ -26,3 +26,25 @@ val max_cycles : t -> int
 val sync_cores : t -> unit
 (** Advance every core to [max_cycles] — a barrier, used between
     experiment phases. *)
+
+(** Result of one scheduling quantum of a core-local run loop. *)
+type step =
+  | Progress  (** did work; cycles were charged by the step itself *)
+  | Idle  (** nothing runnable now; hop this core past the next one *)
+  | Idle_until of int
+      (** nothing runnable before this cycle (a future RX packet, a
+          restart deadline); the loop advances the core's clock there *)
+  | Done  (** this core's workload is complete; stop stepping it *)
+
+exception Stuck of string
+(** Every live core reported [Idle] repeatedly with no clock movement —
+    a lost-wakeup bug in the stepped workload. *)
+
+val interleave : t -> cores:int list -> step:(core:int -> step) -> unit
+(** Virtual-time interleaved execution of per-core run loops: repeatedly
+    invoke [step] on the live core whose cycle counter is furthest
+    behind, until every core reports [Done]. This is how a
+    single-threaded simulation runs n cores "concurrently": cross-core
+    interactions (IPIs, shared locks, cache contention) happen in
+    virtual-time order because the laggard always runs first.
+    @raise Stuck when no live core can make progress. *)

@@ -145,6 +145,35 @@ let test_notification_cross_core_timing () =
   Alcotest.(check bool) "waiter advanced past signal time" true
     (Sky_sim.Cpu.cycles (Kernel.cpu k ~core:0) >= 100_000)
 
+let test_notification_multi_waiter_coalesce () =
+  let k, _ = make () in
+  let n = Notification.create k ~name:"nic-irq" in
+  (* Two cores block in recv, the NIC IRQ consumer path. *)
+  Alcotest.(check (option int)) "core 1 blocks" None
+    (Notification.wait_blocking ~polls:0 n ~core:1);
+  Alcotest.(check (option int)) "core 2 blocks" None
+    (Notification.wait_blocking ~polls:0 n ~core:2);
+  Alcotest.(check (list int)) "both registered, oldest first" [ 1; 2 ]
+    (Notification.waiting_cores n);
+  (* Three signals race the wakeups: one IPI per blocked remote core on
+     the first signal only; the later badges coalesce into the word. *)
+  Notification.signal n ~core:0 ~badge:0b001;
+  Alcotest.(check int) "one IPI per blocked waiter" 2 (Notification.ipis n);
+  Alcotest.(check (list int)) "waiters woken exactly once" []
+    (Notification.waiting_cores n);
+  Notification.signal n ~core:0 ~badge:0b010;
+  Notification.signal n ~core:0 ~badge:0b100;
+  Alcotest.(check int) "no IPIs while nobody blocks" 2 (Notification.ipis n);
+  (* The first waiter to run consumes the whole coalesced word... *)
+  Alcotest.(check (option int)) "union of all three badges" (Some 0b111)
+    (Notification.wait_blocking ~polls:0 n ~core:1);
+  (* ...and the second finds it empty and re-registers: three signals,
+     two woken waiters, one delivered word. *)
+  Alcotest.(check (option int)) "second waiter re-blocks" None
+    (Notification.wait_blocking ~polls:0 n ~core:2);
+  Alcotest.(check (list int)) "re-registered" [ 2 ]
+    (Notification.waiting_cores n)
+
 (* ------------------------------------------------------------------ *)
 (* Temporary mapping                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -303,6 +332,44 @@ let prop_sched_invariants =
       | Some th -> if not (Scheduler.runnable th) then ok := false
       | None -> ok := false);
       !ok)
+
+let prop_benno_o1 =
+  (* Benno's O(1) invariant, aggregate form: over arbitrary
+     wake/block/pick churn, the total entries examined equals exactly
+     the number of successful picks (only ever the queue head), and both
+     the examined count and the cycles the scheduler charges are
+     independent of how many blocked threads exist — a crowd of idle
+     bystanders adds nothing to pick cost (the point of the design,
+     §8.1). *)
+  QCheck.Test.make ~name:"Benno: one examined entry per pick, any population"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 80) (pair (int_bound 2) (int_bound 7)))
+    (fun script ->
+      let run extra_blocked =
+        let cpu = sched_cpu () in
+        let s = Scheduler.create Scheduler.Benno in
+        let threads = Array.init 8 (fun i -> Scheduler.spawn_thread s ~tid:i) in
+        for i = 0 to extra_blocked - 1 do
+          Scheduler.block s cpu (Scheduler.spawn_thread s ~tid:(100 + i))
+        done;
+        let setup_cycles = Sky_sim.Cpu.cycles cpu in
+        let picks = ref 0 in
+        List.iter
+          (fun (op, x) ->
+            match op with
+            | 0 -> Scheduler.block s cpu threads.(x)
+            | 1 -> Scheduler.wake s cpu threads.(x)
+            | _ -> (
+              match Scheduler.pick s cpu with
+              | Some _ -> incr picks
+              | None -> ()))
+          script;
+        (Scheduler.examined s, !picks, Sky_sim.Cpu.cycles cpu - setup_cycles)
+      in
+      let examined0, picks0, cycles0 = run 0 in
+      let examined56, picks56, cycles56 = run 56 in
+      examined0 = picks0 && examined56 = examined0 && picks56 = picks0
+      && cycles56 = cycles0)
 
 (* ------------------------------------------------------------------ *)
 (* Binary images and the loader                                        *)
@@ -509,6 +576,8 @@ let () =
           Alcotest.test_case "poll" `Quick test_notification_poll;
           Alcotest.test_case "cross-core timing" `Quick
             test_notification_cross_core_timing;
+          Alcotest.test_case "multi-waiter coalescing" `Quick
+            test_notification_multi_waiter_coalesce;
         ] );
       ( "temp_mapping",
         [
@@ -528,7 +597,7 @@ let () =
           Alcotest.test_case "lazy pick unbounded" `Quick test_lazy_pick_is_unbounded;
           Alcotest.test_case "empty/blocked queues" `Quick test_sched_empty_queue;
         ]
-        @ qc [ prop_sched_invariants ] );
+        @ qc [ prop_sched_invariants; prop_benno_o1 ] );
       ( "binfmt",
         [
           Alcotest.test_case "encode/decode roundtrip" `Quick test_binfmt_roundtrip;

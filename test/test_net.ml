@@ -1,0 +1,236 @@
+(* Tests for the lib/net subsystem: NIC rings + RSS + coalesced IRQs,
+   the HTTP-ish codec, the interleaved multi-core run loop, and the
+   end-to-end web stack (SkyBridge vs slowpath IPC, determinism, and
+   crash-safe worker recovery). *)
+
+open Sky_sim
+open Sky_ukernel
+open Sky_net
+module Fault = Sky_faults.Fault
+
+let with_faults f = Fun.protect ~finally:Fault.disable f
+
+let make ?(cores = 4) () =
+  let machine = Machine.create ~cores ~mem_mib:64 () in
+  let kernel = Kernel.create machine in
+  (kernel, machine)
+
+(* ------------------------------------------------------------------ *)
+(* NIC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_nic_roundtrip () =
+  let k, _ = make () in
+  let nic = Nic.create k ~queues:2 in
+  let flow =
+    (* find a flow RSS steers to queue 0 *)
+    let rec go f = if Nic.queue_of_flow nic f = 0 then f else go (f + 1) in
+    go 1
+  in
+  let payload = Bytes.of_string "GET /kv/hello" in
+  Nic.deliver nic ~flow ~seq:0 ~payload ~at:5_000;
+  Alcotest.(check int) "queued" 1 (Nic.rx_level nic ~queue:0);
+  Alcotest.(check int) "other queue empty" 0 (Nic.rx_level nic ~queue:1);
+  (match Nic.rx nic ~queue:0 ~core:0 with
+  | None -> Alcotest.fail "expected a packet"
+  | Some pkt ->
+    Alcotest.(check int) "flow" flow pkt.Nic.flow;
+    Alcotest.(check int) "seq" 0 pkt.Nic.seq;
+    Alcotest.(check bytes) "payload survives the rings" payload pkt.Nic.payload;
+    Alcotest.(check bool) "consumer advanced to delivery time" true
+      (Cpu.cycles (Kernel.cpu k ~core:0) >= 5_000));
+  Alcotest.(check bool) "drained" true (Nic.rx nic ~queue:0 ~core:0 = None)
+
+let test_nic_rss_spreads () =
+  let k, _ = make () in
+  let nic = Nic.create k ~queues:4 in
+  let counts = Array.make 4 0 in
+  for flow = 0 to 1023 do
+    let q = Nic.queue_of_flow nic flow in
+    counts.(q) <- counts.(q) + 1
+  done;
+  Array.iteri
+    (fun q c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "queue %d gets a fair share (%d)" q c)
+        true
+        (c > 150 && c < 360))
+    counts
+
+let test_nic_irq_coalescing () =
+  let k, _ = make () in
+  let nic = Nic.create k ~queues:1 in
+  for seq = 0 to 2 do
+    Nic.deliver nic ~flow:1 ~seq ~payload:(Bytes.of_string "x") ~at:0
+  done;
+  Alcotest.(check int) "burst into empty ring raises one IRQ" 1
+    (Nic.irqs_raised nic ~queue:0);
+  while Nic.rx nic ~queue:0 ~core:0 <> None do () done;
+  Nic.deliver nic ~flow:1 ~seq:3 ~payload:(Bytes.of_string "y") ~at:0;
+  Alcotest.(check int) "empty->non-empty edge raises again" 2
+    (Nic.irqs_raised nic ~queue:0)
+
+let test_nic_ring_full_drops () =
+  let k, _ = make () in
+  let nic = Nic.create k ~queues:1 in
+  for seq = 0 to Nic.ring_entries + 4 do
+    Nic.deliver nic ~flow:1 ~seq ~payload:(Bytes.of_string "x") ~at:0
+  done;
+  Alcotest.(check int) "overflow counted, not raised" 5 (Nic.dropped nic);
+  Alcotest.(check int) "ring holds capacity" Nic.ring_entries
+    (Nic.rx_level nic ~queue:0)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_roundtrip () =
+  let reqs =
+    [
+      Http.Kv_get "alpha";
+      Http.Kv_put ("k1", Bytes.of_string "some value with spaces");
+      Http.Fs_get "web0.html";
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "request roundtrips" true
+        (Http.parse_request (Http.serialize_request r) = r))
+    reqs;
+  let resp = Http.ok (Bytes.of_string "body bytes") in
+  let back = Http.parse_response (Http.serialize_response resp) in
+  Alcotest.(check int) "status" 200 back.Http.status;
+  Alcotest.(check bytes) "body" resp.Http.body back.Http.body;
+  List.iter
+    (fun junk ->
+      try
+        ignore (Http.parse_request (Bytes.of_string junk));
+        Alcotest.fail ("accepted junk: " ^ junk)
+      with Http.Bad_request _ -> ())
+    [ "DELETE /kv/x"; "GET /kv/"; "PUT /kv/nokey"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Interleaved run loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleave_orders_by_virtual_time () =
+  let machine = Machine.create ~cores:2 ~mem_mib:16 () in
+  let order = ref [] in
+  let left = [| 3; 3 |] in
+  Machine.interleave machine ~cores:[ 0; 1 ] ~step:(fun ~core ->
+      if left.(core) = 0 then Machine.Done
+      else begin
+        left.(core) <- left.(core) - 1;
+        order := core :: !order;
+        (* core 0 is slow: it should run once per two core-1 steps *)
+        Cpu.charge (Machine.core machine core) (if core = 0 then 1000 else 500);
+        Machine.Progress
+      end);
+  Alcotest.(check (list int)) "behind core always runs first"
+    [ 0; 1; 0; 1; 1; 0 ]
+    (List.rev (List.filteri (fun i _ -> i < 6) (List.rev !order)))
+
+let test_interleave_stuck () =
+  let machine = Machine.create ~cores:2 ~mem_mib:16 () in
+  try
+    Machine.interleave machine ~cores:[ 0; 1 ] ~step:(fun ~core:_ -> Machine.Idle);
+    Alcotest.fail "expected Stuck"
+  with Machine.Stuck _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end web stack                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small ?(seed = 7) ?(workers = 2) transport =
+  Web.build ~seed ~cores:4 ~conns:8 ~requests_per_conn:3 ~workers ~transport ()
+
+let test_web_smoke () =
+  let t = small Web.Skybridge in
+  Web.run t;
+  let lg = Web.loadgen t in
+  Alcotest.(check int) "every request answered" (Loadgen.expected lg)
+    (Loadgen.responses lg);
+  Alcotest.(check int) "no validation errors" 0 (Loadgen.errors lg);
+  Alcotest.(check int) "httpd served them" (Loadgen.expected lg)
+    (Httpd.served (Web.httpd t));
+  Alcotest.(check bool) "positive throughput" true (Web.throughput t > 0.0);
+  (match Web.subkernel t with
+  | None -> Alcotest.fail "skybridge stack has a subkernel"
+  | Some sb -> Alcotest.(check int) "clean audit" 0
+      (List.length (Sky_core.Subkernel.audit sb)));
+  (* both workers actually served traffic *)
+  Alcotest.(check bool) "worker 0 busy" true (Httpd.worker_served (Web.httpd t) 0 > 0);
+  Alcotest.(check bool) "worker 1 busy" true (Httpd.worker_served (Web.httpd t) 1 > 0)
+
+let test_web_slowpath_and_gap () =
+  let sky = small Web.Skybridge in
+  Web.run sky;
+  let ipc = small Web.Ipc_slowpath in
+  Web.run ipc;
+  Alcotest.(check int) "slowpath answers everything too"
+    (Loadgen.expected (Web.loadgen ipc))
+    (Loadgen.responses (Web.loadgen ipc));
+  Alcotest.(check int) "slowpath validation clean" 0 (Loadgen.errors (Web.loadgen ipc));
+  Alcotest.(check bool)
+    (Printf.sprintf "SkyBridge beats slowpath IPC (%.0f vs %.0f req/s)"
+       (Web.throughput sky) (Web.throughput ipc))
+    true
+    (Web.throughput sky > Web.throughput ipc)
+
+let test_web_deterministic () =
+  let run () =
+    let t = small ~seed:11 Web.Skybridge in
+    Web.run t;
+    let h = Loadgen.latencies (Web.loadgen t) in
+    ( Web.elapsed t,
+      Loadgen.responses (Web.loadgen t),
+      Sky_trace.Histogram.p50 h,
+      Sky_trace.Histogram.p99 h,
+      Sky_trace.Histogram.max_value h )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, bit-identical run" true (a = b)
+
+let test_web_worker_crash_recovery () =
+  with_faults @@ fun () ->
+  Fault.reset ~seed:3 ();
+  Fault.arm ~budget:2 ~site:Httpd.fault_site ~kind:Fault.Crash (Fault.At_hit 4);
+  let t = small Web.Skybridge in
+  Web.run t;
+  let lg = Web.loadgen t in
+  Alcotest.(check bool) "workers crashed" true (Httpd.restarts (Web.httpd t) >= 1);
+  Alcotest.(check int) "zero lost requests" (Loadgen.expected lg)
+    (Loadgen.responses lg);
+  Alcotest.(check int) "zero corrupt responses" 0 (Loadgen.errors lg);
+  match Web.subkernel t with
+  | None -> ()
+  | Some sb ->
+    Alcotest.(check int) "audit still clean after revoke/rebind" 0
+      (List.length (Sky_core.Subkernel.audit sb))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "nic",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_nic_roundtrip;
+          Alcotest.test_case "rss-spreads" `Quick test_nic_rss_spreads;
+          Alcotest.test_case "irq-coalescing" `Quick test_nic_irq_coalescing;
+          Alcotest.test_case "ring-full-drops" `Quick test_nic_ring_full_drops;
+        ] );
+      ("http", [ Alcotest.test_case "codec" `Quick test_http_roundtrip ]);
+      ( "interleave",
+        [
+          Alcotest.test_case "virtual-time-order" `Quick
+            test_interleave_orders_by_virtual_time;
+          Alcotest.test_case "stuck-detection" `Quick test_interleave_stuck;
+        ] );
+      ( "web",
+        [
+          Alcotest.test_case "smoke" `Quick test_web_smoke;
+          Alcotest.test_case "skybridge-vs-slowpath" `Quick test_web_slowpath_and_gap;
+          Alcotest.test_case "deterministic" `Quick test_web_deterministic;
+          Alcotest.test_case "worker-crash-recovery" `Quick
+            test_web_worker_crash_recovery;
+        ] );
+    ]
