@@ -21,16 +21,24 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+(* Host wall-clock of producing a result; recorded in BENCH artifacts
+   next to the simulated cycles (stdout JSON stays byte-deterministic). *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
 (* With --json, every result is also archived as BENCH_<id>.json so CI
    can glob one pattern and benchmark trajectories survive the run. *)
-let emit ?artifact ~json tbl =
+let emit ?artifact ~json run =
+  let tbl, host_seconds = timed run in
   if json then begin
     let j = Sky_harness.Tbl.to_json tbl in
     print_endline j;
     match artifact with
     | Some name ->
-      let path = Sky_harness.Artifact.write ~name j in
-      Printf.eprintf "wrote %s\n" path
+      let path = Sky_harness.Artifact.write ~name ~host_seconds j in
+      Printf.eprintf "wrote %s (%.2fs host)\n" path host_seconds
     | None -> ()
   end
   else Sky_harness.Tbl.print tbl
@@ -44,12 +52,12 @@ let run_one ~records ~ops ~json id =
       | "fig10" -> Sky_ukernel.Config.Fiasco
       | _ -> Sky_ukernel.Config.Zircon
     in
-    emit ~artifact:id ~json
-      (Sky_experiments.Exp_ycsb.run_variant
-         ?records ?ops_per_thread:ops variant)
+    emit ~artifact:id ~json (fun () ->
+        Sky_experiments.Exp_ycsb.run_variant ?records ?ops_per_thread:ops
+          variant)
   | _ -> (
     match Sky_experiments.Registry.find id with
-    | Some e -> emit ~artifact:id ~json (e.Sky_experiments.Registry.run ())
+    | Some e -> emit ~artifact:id ~json e.Sky_experiments.Registry.run
     | None ->
       Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
       exit 1)
@@ -71,7 +79,7 @@ let run_cmd =
       List.iter
         (fun e ->
           emit ~artifact:e.Sky_experiments.Registry.id ~json
-            (e.Sky_experiments.Registry.run ());
+            e.Sky_experiments.Registry.run;
           if not json then print_newline ())
         Sky_experiments.Registry.all
     else run_one ~records ~ops ~json id
@@ -219,7 +227,7 @@ let web_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
   let cores =
-    Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Simulated cores (= max workers).")
+    Arg.(value & opt int 16 & info [ "cores" ] ~doc:"Simulated cores (= max workers).")
   in
   let conns =
     Arg.(
@@ -238,16 +246,27 @@ let web_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the results as JSON and write BENCH_web.json.")
   in
-  let run seed cores conns requests json =
-    let r =
-      Sky_experiments.Exp_web.run_curve ~seed ~cores ~conns
-        ~requests_per_conn:requests ()
+  let no_accel =
+    Arg.(
+      value & flag
+      & info [ "no-accel" ]
+          ~doc:
+            "Disable the translation-acceleration structures (PSCs, EPT \
+             walk cache, hot lines) for this run — the cache-free \
+             reference walker, for host wall-clock comparisons.")
+  in
+  let run seed cores conns requests json no_accel =
+    if no_accel then Sky_sim.Accel.set_enabled false;
+    let r, host_seconds =
+      timed (fun () ->
+          Sky_experiments.Exp_web.run_curve ~seed ~cores ~conns
+            ~requests_per_conn:requests ())
     in
     if json then begin
       let j = Sky_experiments.Exp_web.to_json r in
       print_endline j;
-      let path = Sky_harness.Artifact.write ~name:"web" j in
-      Printf.eprintf "wrote %s\n" path
+      let path = Sky_harness.Artifact.write ~name:"web" ~host_seconds j in
+      Printf.eprintf "wrote %s (%.2fs host)\n" path host_seconds
     end
     else Sky_harness.Tbl.print (Sky_experiments.Exp_web.table r);
     if not (Sky_experiments.Exp_web.ok r) then begin
@@ -260,7 +279,96 @@ let web_cmd =
     end
   in
   Cmd.v (Cmd.info "web" ~doc)
-    Term.(const run $ seed $ cores $ conns $ requests $ json)
+    Term.(const run $ seed $ cores $ conns $ requests $ json $ no_accel)
+
+(* bench/budgets.json is flat enough ({"pingpong":{"cycles_per_call":N}})
+   that a substring scan beats pulling in a JSON parser dependency. Finds
+   the first integer after ["key":] following ["section":]. *)
+let budget_of ~file ~section ~key =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let find_from pos pat =
+    let plen = String.length pat in
+    let rec go i =
+      if i + plen > String.length s then None
+      else if String.sub s i plen = pat then Some (i + plen)
+      else go (i + 1)
+    in
+    go pos
+  in
+  match find_from 0 (Printf.sprintf "\"%s\"" section) with
+  | None -> None
+  | Some p -> (
+    match find_from p (Printf.sprintf "\"%s\"" key) with
+    | None -> None
+    | Some p ->
+      let len = String.length s in
+      let rec skip i =
+        if i < len && (s.[i] = ':' || s.[i] = ' ') then skip (i + 1) else i
+      in
+      let start = skip p in
+      let rec stop i = if i < len && s.[i] >= '0' && s.[i] <= '9' then stop (i + 1) else i in
+      let e = stop start in
+      if e > start then Some (int_of_string (String.sub s start (e - start)))
+      else None)
+
+let perf_cmd =
+  let doc =
+    "Run the pingpong perf gate: measure SkyBridge direct-call cycles \
+     under TLB pressure with the translation-acceleration structures on \
+     and off, write BENCH_pingpong.json, and fail if cycles-per-call \
+     (accel on) exceeds the budget in bench/budgets.json by more than \
+     2%, or if acceleration does not beat the cache-free walker. The \
+     JSON on stdout is byte-deterministic, so CI diffs two same-seed \
+     runs to catch nondeterminism."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let budgets =
+    Arg.(
+      value
+      & opt string "bench/budgets.json"
+      & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
+  in
+  let run json budgets =
+    let r, host_seconds = timed Sky_experiments.Exp_pingpong.run_result in
+    if json then begin
+      let j = Sky_experiments.Exp_pingpong.to_json r in
+      print_endline j;
+      let path = Sky_harness.Artifact.write ~name:"pingpong" ~host_seconds j in
+      Printf.eprintf "wrote %s (%.2fs host)\n" path host_seconds
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_pingpong.table r);
+    let cpc = r.Sky_experiments.Exp_pingpong.cycles_per_call in
+    let cpc_off = r.Sky_experiments.Exp_pingpong.cycles_per_call_noaccel in
+    if cpc >= cpc_off then begin
+      Printf.eprintf
+        "perf: acceleration does not pay: %d cycles/call on vs %d off\n" cpc
+        cpc_off;
+      exit 1
+    end;
+    if Sys.file_exists budgets then
+      match budget_of ~file:budgets ~section:"pingpong" ~key:"cycles_per_call" with
+      | None ->
+        Printf.eprintf "perf: no pingpong.cycles_per_call budget in %s\n" budgets;
+        exit 1
+      | Some budget ->
+        let limit = budget * 102 / 100 in
+        if cpc > limit then begin
+          Printf.eprintf
+            "perf: REGRESSION: %d cycles/call exceeds budget %d (+2%% = %d)\n"
+            cpc budget limit;
+          exit 1
+        end
+        else
+          Printf.eprintf "perf: %d cycles/call within budget %d (+2%% = %d)\n"
+            cpc budget limit
+    else Printf.eprintf "perf: %s not found; skipping budget gate\n" budgets
+  in
+  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ json $ budgets)
 
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
@@ -279,4 +387,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "skybench" ~doc ~version:"1.0")
-          [ list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd; web_cmd ]))
+          [
+            list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd;
+            web_cmd; perf_cmd;
+          ]))

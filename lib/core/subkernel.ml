@@ -821,6 +821,7 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
       t.calls |> fun n -> b.last_use <- n;
       let idx = ensure_installed t ~core ps b in
       let start = Cpu.cycles cpu in
+      let walk0 = Pmu.read (Cpu.pmu cpu) Pmu.Walk_cycles in
       (* Roundtrip span: feeds the "skybridge.<kernel>.call" latency
          histogram; inner spans (vmfunc, copies, key check) refine the
          per-category attribution. *)
@@ -970,6 +971,9 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
           t.stats.Breakdown.other <-
             t.stats.Breakdown.other + (2 * Trampoline.crossing_cycles);
           t.stats.Breakdown.copy <- t.stats.Breakdown.copy + !copy_cycles;
+          t.stats.Breakdown.walk <-
+            t.stats.Breakdown.walk
+            + (Pmu.read (Cpu.pmu cpu) Pmu.Walk_cycles - walk0);
           Ok reply
       with
       | outcome -> Result.map (fun reply -> (reply, `Direct)) outcome

@@ -61,7 +61,7 @@ let measure ~variant ~seed ~cores ~conns ~requests_per_conn ~workers transport =
   Web.run t;
   side_of t
 
-let run_curve ?(variant = Sky_ukernel.Config.Sel4) ?(seed = 42) ?(cores = 8)
+let run_curve ?(variant = Sky_ukernel.Config.Sel4) ?(seed = 42) ?(cores = 16)
     ?(conns = Web.default_conns)
     ?(requests_per_conn = Web.default_requests_per_conn) () =
   let point workers =

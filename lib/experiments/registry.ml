@@ -40,6 +40,9 @@ let all =
       run = Exp_web.run };
     { id = "ycsbmix"; title = "Extension: YCSB A/B/C mix sensitivity";
       run = Exp_extensions.run_ycsb_mix };
+    { id = "pingpong";
+      title = "Pingpong: direct-call cycles under TLB pressure, accel on/off";
+      run = Exp_pingpong.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -52,7 +52,22 @@ let reset ?(seed = 1) () =
 let disable () = enabled := false
 let is_enabled () = !enabled
 let set_clock f = clock := f
-let enter_scope () = incr scope
+
+(* Layers above (e.g. the simulator's host-side hot lines) register
+   state to drop whenever a fault scope opens, so runs with the engine
+   armed take identical code paths regardless of prior warm-up. *)
+let scope_enter_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let on_scope_enter f =
+  let prev = !scope_enter_hook in
+  scope_enter_hook :=
+    fun () ->
+      prev ();
+      f ()
+
+let enter_scope () =
+  if !enabled then !scope_enter_hook ();
+  incr scope
 let leave_scope () = if !scope > 0 then decr scope
 let in_scope () = !scope > 0
 

@@ -5,8 +5,21 @@
 
 let path_of name = Printf.sprintf "BENCH_%s.json" name
 
-let write ~name contents =
+(* [host_seconds] records the host wall-clock cost of producing the
+   result next to the simulated numbers, so benchmark trajectories track
+   both the modelled machine and the simulator itself. It wraps rather
+   than edits [contents]: the simulated result stays byte-deterministic
+   under "result" while the timing lives alongside it. *)
+let write ~name ?host_seconds contents =
   let path = path_of name in
+  let contents =
+    match host_seconds with
+    | None -> contents
+    | Some s ->
+      let trimmed = String.trim contents in
+      Printf.sprintf "{\"host_seconds\":%.3f,\"result\":%s}" s
+        (if trimmed = "" then "null" else trimmed)
+  in
   let oc = open_out path in
   output_string oc contents;
   if contents = "" || contents.[String.length contents - 1] <> '\n' then

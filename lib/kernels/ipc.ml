@@ -243,6 +243,9 @@ let cross_call t ~core ~client ep ~server_core msg =
   let bd = ep.stats in
   let cost = costs t in
   let ccpu = Kernel.cpu k ~core and scpu = Kernel.cpu k ~core:server_core in
+  (* The server core's TLB-refill cycles belong to this call too; the
+     client core's delta is taken by [call] around the whole dispatch. *)
+  let swalk0 = Pmu.read (Cpu.pmu scpu) Pmu.Walk_cycles in
   (* Client side: trap, queue the message, kick the server core. *)
   Kernel.kernel_entry k ~core;
   Cpu.charge ccpu cost.Costs_table.slow_logic;
@@ -286,6 +289,8 @@ let cross_call t ~core ~client ep ~server_core msg =
   bd.Breakdown.ctx <- bd.Breakdown.ctx + ctx1 + ctx2;
   bd.Breakdown.syscall <-
     bd.Breakdown.syscall + (2 * (Costs.syscall + (2 * Costs.swapgs) + Costs.sysret));
+  bd.Breakdown.walk <-
+    bd.Breakdown.walk + (Pmu.read (Cpu.pmu scpu) Pmu.Walk_cycles - swalk0);
   reply
 
 let call t ~core ~client ep msg =
@@ -306,11 +311,20 @@ let call t ~core ~client ep msg =
      ("<kernel>.roundtrip") read by `skybench trace`. *)
   Sky_trace.Trace.span ~core ~cat:"ipc" (variant_slug t ^ ".roundtrip")
   @@ fun () ->
+  (* Attribute the calling core's TLB-refill cycles during this call to
+     the breakdown's walk column (cross-cutting; see {!Breakdown}). *)
+  let cpmu = Cpu.pmu (Kernel.cpu t.kernel ~core) in
+  let walk0 = Pmu.read cpmu Pmu.Walk_cycles in
+  let finish reply =
+    ep.stats.Breakdown.walk <-
+      ep.stats.Breakdown.walk + (Pmu.read cpmu Pmu.Walk_cycles - walk0);
+    reply
+  in
   if local then begin
     let fast =
       cost.Costs_table.has_fastpath && Bytes.length msg <= register_msg_limit
     in
-    local_call t ~core ~client ep ~fast msg
+    finish (local_call t ~core ~client ep ~fast msg)
   end
   else begin
     let server_core =
@@ -318,5 +332,5 @@ let call t ~core ~client ep msg =
       | c :: _ -> c
       | [] -> assert false
     in
-    cross_call t ~core ~client ep ~server_core msg
+    finish (cross_call t ~core ~client ep ~server_core msg)
   end

@@ -100,14 +100,23 @@ let map_4k_flags t ~mem ~alloc ~gpa ~hpa ~flags =
   if gpa land 0xfff <> 0 || hpa land 0xfff <> 0 then
     invalid_arg "Ept.map_4k: unaligned";
   let epa = leaf_entry_for_write t ~mem ~alloc ~gpa in
-  Sky_mem.Phys_mem.write_u64 mem epa
-    (Pte.encode ~pa:hpa { flags with Pte.huge = false })
+  let old = Sky_mem.Phys_mem.read_u64 mem epa in
+  let v = Pte.encode ~pa:hpa { flags with Pte.huge = false } in
+  Sky_mem.Phys_mem.write_u64 mem epa v;
+  (* Overwriting a live leaf (a remap) can strand cached translations
+     anywhere in the machine — TLBs, EPT walk caches, host hot lines.
+     Bump the global mutation epoch so they all lazily self-flush.
+     Fresh installs can't invalidate a cached positive translation, so
+     boot-time identity-map loops stay bump-free. *)
+  if Pte.is_present old && old <> v then Sky_sim.Accel.bump ()
 
 let map_4k t ~mem ~alloc ~gpa ~hpa = map_4k_flags t ~mem ~alloc ~gpa ~hpa ~flags:full
 
 let unmap_4k t ~mem ~alloc ~gpa =
   let epa = leaf_entry_for_write t ~mem ~alloc ~gpa in
-  Sky_mem.Phys_mem.write_u64 mem epa Pte.zero
+  let old = Sky_mem.Phys_mem.read_u64 mem epa in
+  Sky_mem.Phys_mem.write_u64 mem epa Pte.zero;
+  if Pte.is_present old then Sky_sim.Accel.bump ()
 
 let remap_gpa = map_4k
 
@@ -190,4 +199,8 @@ let pages_owned t = Hashtbl.length t.owned
 
 let destroy t ~alloc =
   Hashtbl.iter (fun pa () -> Sky_mem.Frame_alloc.free_frame alloc pa) t.owned;
-  Hashtbl.reset t.owned
+  Hashtbl.reset t.owned;
+  (* The root (and table) frames return to the allocator and may be
+     recycled as a new EPT — including as a new root whose EPTP value
+     would collide with ASID tags derived from this one. *)
+  Sky_sim.Accel.bump ()

@@ -35,8 +35,14 @@ let map t ~mem ~alloc ~va ~pa ~flags =
   if va land 0xfff <> 0 || pa land 0xfff <> 0 then
     invalid_arg "Page_table.map: unaligned";
   let pt = table_for t ~mem ~alloc ~table_pa:t.root ~level:3 ~va in
-  Sky_mem.Phys_mem.write_u64 mem (entry_pa pt (va_index ~level:0 va))
-    (Pte.encode ~pa flags)
+  let epa = entry_pa pt (va_index ~level:0 va) in
+  let old = Sky_mem.Phys_mem.read_u64 mem epa in
+  let v = Pte.encode ~pa flags in
+  Sky_mem.Phys_mem.write_u64 mem epa v;
+  (* Remapping a live leaf invalidates cached translations machine-wide
+     (TLBs, PSCs, hot lines): bump the global epoch. Fresh installs
+     don't — nothing positive can be cached for an unmapped page. *)
+  if Pte.is_present old && old <> v then Sky_sim.Accel.bump ()
 
 let map_range t ~mem ~alloc ~va ~pa ~len ~flags =
   let pages = (len + 4095) / 4096 in
@@ -54,14 +60,19 @@ let rec find_leaf ~mem ~table_pa ~level ~va =
 let unmap t ~mem ~va =
   match find_leaf ~mem ~table_pa:t.root ~level:3 ~va with
   | None -> ()
-  | Some epa -> Sky_mem.Phys_mem.write_u64 mem epa Pte.zero
+  | Some epa ->
+    Sky_mem.Phys_mem.write_u64 mem epa Pte.zero;
+    Sky_sim.Accel.bump ()
 
 let protect t ~mem ~va ~flags =
   match find_leaf ~mem ~table_pa:t.root ~level:3 ~va with
   | None -> raise (Page_fault (Not_present va))
   | Some epa ->
-    let pa, _ = Pte.decode (Sky_mem.Phys_mem.read_u64 mem epa) in
-    Sky_mem.Phys_mem.write_u64 mem epa (Pte.encode ~pa flags)
+    let old = Sky_mem.Phys_mem.read_u64 mem epa in
+    let pa, _ = Pte.decode old in
+    let v = Pte.encode ~pa flags in
+    Sky_mem.Phys_mem.write_u64 mem epa v;
+    if old <> v then Sky_sim.Accel.bump ()
 
 type walk_result = { pa : int; flags : Pte.flags; entries_read : int list }
 
@@ -97,4 +108,5 @@ let pages t = List.length t.owned
 
 let destroy t ~alloc =
   List.iter (fun pa -> Sky_mem.Frame_alloc.free_frame alloc pa) t.owned;
-  t.owned <- []
+  t.owned <- [];
+  Sky_sim.Accel.bump ()

@@ -9,28 +9,70 @@ let fetch = { kind = Sky_sim.Memsys.Insn; write = false }
 
 (* Translate a guest-physical address through the current EPT, charging
    one cached data access per EPT entry read. Identity when the vCPU is
-   not virtualized. *)
+   not virtualized.
+
+   The EPT walk cache memoizes gpn → hpn per EPT root (the hardware
+   nested-walk cache): a hit skips the EPT walk and its per-entry
+   memory accesses. Keyed by the EPT root's host-physical address, it
+   is naturally correct across VMFUNC EPTP switches and guest-side
+   flushes; EPT mutations invalidate it through the global epoch. *)
 let ept_translate vcpu mem gpa =
   match vcpu.Vcpu.vmcs with
   | None -> gpa
-  | Some vmcs -> (
+  | Some vmcs ->
     let root_pa = Vmcs.current_eptp vmcs in
-    match Ept.walk ~mem ~root_pa ~gpa with
-    | Ok { Ept.hpa; entries_read } ->
-      List.iter
-        (fun epa -> Sky_sim.Memsys.access (Vcpu.cpu vcpu) Sky_sim.Memsys.Data epa)
-        entries_read;
-      hpa
-    | Error f -> raise (Ept.Ept_violation f))
+    let cpu = Vcpu.cpu vcpu in
+    let walk_charged () =
+      match Ept.walk ~mem ~root_pa ~gpa with
+      | Ok { Ept.hpa; entries_read } ->
+        List.iter
+          (fun epa -> Sky_sim.Memsys.access cpu Sky_sim.Memsys.Data epa)
+          entries_read;
+        hpa
+      | Error f -> raise (Ept.Ept_violation f)
+    in
+    if not (Sky_sim.Accel.is_enabled ()) then walk_charged ()
+    else begin
+      let wc = Sky_sim.Cpu.ept_walk_cache cpu in
+      let pmu = Sky_sim.Cpu.pmu cpu in
+      let gpn = gpa lsr 12 in
+      match Sky_sim.Psc.lookup wc ~asid:root_pa ~key:gpn with
+      | Some hpn ->
+        Sky_sim.Pmu.count pmu Sky_sim.Pmu.Ept_walk_cache_hit;
+        (hpn lsl 12) lor (gpa land 0xfff)
+      | None ->
+        Sky_sim.Pmu.count pmu Sky_sim.Pmu.Ept_walk_cache_miss;
+        let hpa = walk_charged () in
+        Sky_sim.Psc.insert wc ~asid:root_pa ~key:gpn (hpa lsr 12);
+        hpa
+    end
 
 (* Nested guest walk: each guest table page is located through the EPT,
-   then the entry is read with a cached access. *)
+   then the entry is read with a cached access.
+
+   The paging-structure caches (PML4E/PDPTE/PDE) let the walk resume at
+   the deepest level whose next-table pointer is cached for this ASID
+   and VA prefix — a PDE hit turns a 4-level nested walk into a single
+   leaf read. Probes charge no cycles (they model on-core lookup
+   structures); only the remaining entry reads and their EPT
+   translations go through the memory system. Each level read on the
+   way down is installed, mirroring how hardware fills these caches. *)
 let guest_walk vcpu mem ~va =
   let cpu = Vcpu.cpu vcpu in
   (* Fault site "mmu.walk": a spurious EPT violation (or crash) injected
      into the nested walk — only fires inside a mediated-call scope. *)
   if Sky_faults.Fault.is_enabled () then
     Sky_faults.Fault.inject ~core:(Sky_sim.Cpu.id cpu) "mmu.walk";
+  let accel = Sky_sim.Accel.is_enabled () in
+  let asid = Vcpu.asid vcpu in
+  let psc_for level =
+    (* The cache holding pointers to tables at [level]. *)
+    match level with
+    | 0 -> Sky_sim.Cpu.psc_pde cpu
+    | 1 -> Sky_sim.Cpu.psc_pdpte cpu
+    | _ -> Sky_sim.Cpu.psc_pml4e cpu
+  in
+  let key_for level = va lsr (21 + (9 * level)) in
   let rec go table_gpa level =
     let table_hpa = ept_translate vcpu mem table_gpa in
     let index = Page_table.va_index ~level va in
@@ -41,9 +83,34 @@ let guest_walk vcpu mem ~va =
       raise (Page_table.Page_fault (Page_table.Not_present va))
     else
       let pa, flags = Pte.decode e in
-      if level = 0 then (pa, flags) else go pa (level - 1)
+      if level = 0 then (pa, flags)
+      else begin
+        if accel then Sky_sim.Psc.insert (psc_for (level - 1)) ~asid
+            ~key:(key_for (level - 1)) pa;
+        go pa (level - 1)
+      end
   in
-  go vcpu.Vcpu.cr3 3
+  if not accel then go vcpu.Vcpu.cr3 3
+  else begin
+    let pmu = Sky_sim.Cpu.pmu cpu in
+    match Sky_sim.Psc.lookup (psc_for 0) ~asid ~key:(key_for 0) with
+    | Some pt ->
+      Sky_sim.Pmu.count pmu Sky_sim.Pmu.Psc_hit;
+      go pt 0
+    | None -> (
+      match Sky_sim.Psc.lookup (psc_for 1) ~asid ~key:(key_for 1) with
+      | Some pd ->
+        Sky_sim.Pmu.count pmu Sky_sim.Pmu.Psc_hit;
+        go pd 1
+      | None -> (
+        match Sky_sim.Psc.lookup (psc_for 2) ~asid ~key:(key_for 2) with
+        | Some pdpt ->
+          Sky_sim.Pmu.count pmu Sky_sim.Pmu.Psc_hit;
+          go pdpt 2
+        | None ->
+          Sky_sim.Pmu.count pmu Sky_sim.Pmu.Psc_miss;
+          go vcpu.Vcpu.cr3 3))
+  end
 
 let check_perms vcpu acc ~va (flags : Pte.flags) =
   let user_mode = vcpu.Vcpu.mode = Vcpu.User in
@@ -54,29 +121,31 @@ let check_perms vcpu acc ~va (flags : Pte.flags) =
   if acc.kind = Sky_sim.Memsys.Insn && flags.Pte.nx then
     raise (Page_table.Page_fault (Page_table.Protection va))
 
+(* A TLB entry carries the flattened leaf permissions; reconstruct the
+   flags view a hit checks against. *)
+let serve_hit vcpu acc ~va (entry : Sky_sim.Tlb.entry) =
+  let flags =
+    {
+      Pte.present = true;
+      writable = entry.Sky_sim.Tlb.writable;
+      user = entry.Sky_sim.Tlb.user;
+      huge = false;
+      nx = false;
+    }
+  in
+  check_perms vcpu acc ~va flags;
+  (entry.Sky_sim.Tlb.ppn lsl 12) lor (va land 0xfff)
+
 let translate vcpu mem acc ~va =
   let cpu = Vcpu.cpu vcpu in
-  let tlb =
-    match acc.kind with
-    | Sky_sim.Memsys.Insn -> Sky_sim.Cpu.itlb cpu
-    | Sky_sim.Memsys.Data -> Sky_sim.Cpu.dtlb cpu
-  in
+  let insn = acc.kind = Sky_sim.Memsys.Insn in
+  let tlb = if insn then Sky_sim.Cpu.itlb cpu else Sky_sim.Cpu.dtlb cpu in
   let vpn = va lsr 12 in
   let asid = Vcpu.asid vcpu in
-  match Sky_sim.Tlb.lookup tlb ~asid ~vpn with
-  | Some entry ->
-    let flags =
-      {
-        Pte.present = true;
-        writable = entry.Sky_sim.Tlb.writable;
-        user = entry.Sky_sim.Tlb.user;
-        huge = false;
-        nx = false;
-      }
-    in
-    check_perms vcpu acc ~va flags;
-    (entry.Sky_sim.Tlb.ppn lsl 12) lor (va land 0xfff)
-  | None ->
+  let refill () =
+    let core = Sky_sim.Cpu.id cpu in
+    Sky_trace.Trace.span ~core ~cat:"walk" "tlb.refill" @@ fun () ->
+    let c0 = Sky_sim.Cpu.cycles cpu in
     let page_gpa, flags = guest_walk vcpu mem ~va in
     check_perms vcpu acc ~va flags;
     let page_hpa = ept_translate vcpu mem page_gpa in
@@ -87,7 +156,31 @@ let translate vcpu mem acc ~va =
         writable = flags.Pte.writable;
         user = flags.Pte.user;
       };
+    Sky_sim.Pmu.add (Sky_sim.Cpu.pmu cpu) Sky_sim.Pmu.Walk_cycles
+      (Sky_sim.Cpu.cycles cpu - c0);
     page_hpa lor (va land 0xfff)
+  in
+  if not (Sky_sim.Accel.is_enabled ()) then
+    match Sky_sim.Tlb.lookup tlb ~asid ~vpn with
+    | Some entry -> serve_hit vcpu acc ~va entry
+    | None -> refill ()
+  else begin
+    (* Host fast path: revalidate the hot line remembered for this
+       (core, side, vpn). Success is observably identical to a TLB hit
+       (same counters, LRU and zero charged cycles) but skips the set
+       scan and this function's setup on the OCaml side. *)
+    let line = Sky_sim.Memsys.Hotline.line_for ~core:(Sky_sim.Cpu.id cpu) ~insn ~vpn in
+    match Sky_sim.Memsys.Hotline.probe line ~tlb ~asid ~vpn with
+    | Some entry ->
+      Sky_sim.Pmu.count (Sky_sim.Cpu.pmu cpu) Sky_sim.Pmu.Hot_line_hit;
+      serve_hit vcpu acc ~va entry
+    | None -> (
+      match Sky_sim.Tlb.lookup_slot tlb ~asid ~vpn with
+      | Some slot ->
+        Sky_sim.Memsys.Hotline.record line ~tlb ~slot ~asid ~vpn;
+        serve_hit vcpu acc ~va (Sky_sim.Tlb.slot_entry slot)
+      | None -> refill ())
+  end
 
 let accessed vcpu mem acc ~va =
   let hpa = translate vcpu mem acc ~va in
@@ -114,11 +207,7 @@ let iter_range vcpu mem acc ~va ~len f =
       let in_page = 4096 - (va land 0xfff) in
       let n = min remaining in_page in
       let hpa = translate vcpu mem acc ~va in
-      let line = 64 in
-      let first = hpa / line and last = (hpa + n - 1) / line in
-      for l = first to last do
-        Sky_sim.Memsys.access cpu acc.kind (l * line)
-      done;
+      Sky_sim.Memsys.touch_range cpu acc.kind ~pa:hpa ~len:n;
       f ~hpa ~off ~len:n;
       go (va + n) (off + n) (remaining - n)
     end

@@ -32,13 +32,20 @@ let vmcs_exn t =
 
 let enter_non_root t vmcs = t.vmcs <- Some vmcs
 
-(* The TLB ASID tag: composes PCID with the current EPTP index so that —
-   as with VPID+EPTP tagging on real hardware — neither a PCID-tagged CR3
-   write nor a VMFUNC EPTP switch needs a flush. *)
+(* The TLB ASID tag: composes PCID with the current EPTP *value* (its
+   root frame number) so that — as with VPID+EPTP tagging on real
+   hardware — neither a PCID-tagged CR3 write nor a VMFUNC EPTP switch
+   needs a flush. Tagging by EPTP value rather than list index matters:
+   EPTP-list slots are LRU-recycled and re-pointed by the kernel layer,
+   so an index tag could match a stale translation after a slot is
+   reused for a different EPT. The value tag can only be recycled when
+   an EPT root frame is freed, and {!Ept.destroy} bumps the global
+   mutation epoch, which flushes every translation structure. *)
 let asid t =
   let eptp_part =
     match t.vmcs with
-    | Some v when v.Vmcs.vpid_enabled -> (Vmcs.current_index v + 1) lsl 16
+    | Some v when v.Vmcs.vpid_enabled ->
+      ((Vmcs.current_eptp v lsr 12) + 1) lsl 16
     | _ -> 0
   in
   eptp_part lor t.pcid
@@ -52,8 +59,24 @@ let write_cr3 t ~cr3 ~pcid =
   t.pcid <- (if t.pcid_enabled then pcid else 0);
   if not t.pcid_enabled then begin
     Sky_trace.Trace.instant ~core ~cat:"ctx" "tlb.flush";
-    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.itlb t.cpu);
-    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.dtlb t.cpu)
+    (* An untagged CR3 write flushes everything derived from the guest
+       linear address space: leaf TLBs and paging-structure caches. *)
+    Sky_sim.Cpu.flush_guest_translation t.cpu
   end
+
+(* INVLPG: invalidate one page's leaf-TLB entries under the current
+   ASID, and (as on hardware, which drops paging-structure-cache
+   entries regardless of PCID) the covering PSC entries for every ASID. *)
+let invlpg t ~va =
+  let core = Sky_sim.Cpu.id t.cpu in
+  Sky_trace.Trace.instant ~core ~cat:"ctx" "invlpg";
+  Sky_sim.Cpu.charge t.cpu Sky_sim.Costs.invlpg;
+  let asid = asid t in
+  let vpn = va lsr 12 in
+  Sky_sim.Tlb.flush_page (Sky_sim.Cpu.itlb t.cpu) ~asid ~vpn;
+  Sky_sim.Tlb.flush_page (Sky_sim.Cpu.dtlb t.cpu) ~asid ~vpn;
+  Sky_sim.Psc.flush_key (Sky_sim.Cpu.psc_pde t.cpu) ~key:(va lsr 21);
+  Sky_sim.Psc.flush_key (Sky_sim.Cpu.psc_pdpte t.cpu) ~key:(va lsr 30);
+  Sky_sim.Psc.flush_key (Sky_sim.Cpu.psc_pml4e t.cpu) ~key:(va lsr 39)
 
 let set_mode t m = t.mode <- m

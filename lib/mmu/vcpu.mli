@@ -31,12 +31,18 @@ val enter_non_root : t -> Vmcs.t -> unit
 (** Performed once per core at Rootkernel boot. *)
 
 val asid : t -> int
-(** TLB tag composing PCID with the current EPTP index, so that — as
-    with VPID+PCID on real hardware — neither a tagged CR3 write nor a
-    VMFUNC EPTP switch needs a flush. *)
+(** TLB tag composing PCID with the current EPTP {e value} (root frame),
+    so that — as with VPID+PCID on real hardware — neither a tagged CR3
+    write nor a VMFUNC EPTP switch needs a flush. Value-tagging (rather
+    than EPTP-list index) stays sound across EPTP-list slot recycling. *)
 
 val write_cr3 : t -> cr3:int -> pcid:int -> unit
-(** Charges {!Sky_sim.Costs.cr3_write}; flushes the TLBs unless PCID is
-    enabled. *)
+(** Charges {!Sky_sim.Costs.cr3_write}; flushes the TLBs and
+    paging-structure caches unless PCID is enabled. *)
+
+val invlpg : t -> va:int -> unit
+(** Invalidate one page: leaf-TLB entries under the current ASID plus
+    the covering paging-structure-cache entries for every ASID (hardware
+    INVLPG semantics). Charges {!Sky_sim.Costs.invlpg}. *)
 
 val set_mode : t -> mode -> unit

@@ -28,8 +28,9 @@ let execute vcpu ~func ~index =
   end;
   vmcs.Vmcs.current_index <- index;
   if not vmcs.Vmcs.vpid_enabled then begin
-    (* Without VPID the EPTP switch invalidates combined mappings. *)
+    (* Without VPID the EPTP switch invalidates combined mappings:
+       leaf TLBs and paging-structure caches alike. The EPT walk cache
+       is keyed by EPT root and correct across the switch. *)
     Sky_trace.Trace.instant ~core ~cat:"vmfunc" "tlb.flush";
-    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.itlb cpu);
-    Sky_sim.Tlb.flush_all (Sky_sim.Cpu.dtlb cpu)
+    Sky_sim.Cpu.flush_guest_translation cpu
   end

@@ -1,0 +1,33 @@
+(** Global state for the translation-acceleration layer.
+
+    Two pieces, both deliberately tiny so the hot path pays one ref read:
+
+    {b The kill switch.} All acceleration structures (paging-structure
+    caches, EPT walk cache, host-side hot lines) consult [is_enabled].
+    Disabling them restores the pre-acceleration walker bit for bit —
+    the cache-free reference the equivalence property tests against and
+    the "before" column of the EXPERIMENTS.md pingpong table.
+
+    {b The mutation epoch.} Control-plane events that can invalidate a
+    cached translation without going through an architectural flush —
+    [Ept.unmap_4k], an EPT remap of a live leaf, [Page_table.unmap] /
+    [protect], table destruction — bump a single global epoch. Every
+    translation structure records the epoch it last observed and lazily
+    self-flushes (O(1), via its generation counter) when it sees a newer
+    one. This keeps the rare mutation path O(1) and the per-lookup cost
+    at one integer compare, while guaranteeing that no stale entry
+    survives a mapping change. *)
+
+let enabled = ref true
+let epoch = ref 0
+
+let is_enabled () = !enabled
+
+let set_enabled b =
+  enabled := b;
+  (* Entries inserted before a disable/enable round trip may predate
+     mutations performed while the structures were dormant: discard. *)
+  incr epoch
+
+let current_epoch () = !epoch
+let bump () = incr epoch

@@ -1,0 +1,18 @@
+(** Global state for the translation-acceleration layer: the kill
+    switch for all acceleration structures (paging-structure caches,
+    EPT walk cache, host hot lines) and the mutation epoch that lazily
+    invalidates every one of them when a mapping changes underneath. *)
+
+val is_enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Toggle all acceleration structures. Disabling restores the
+    cache-free reference walker bit for bit; toggling also bumps the
+    epoch so no entry survives a disable/enable round trip. *)
+
+val current_epoch : unit -> int
+
+val bump : unit -> unit
+(** Record a mapping mutation (EPT unmap/remap of a live leaf, guest
+    page-table unmap/protect/overwrite, table destruction). Every
+    translation structure self-flushes on its next use. *)

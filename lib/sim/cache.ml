@@ -4,6 +4,7 @@ type t = {
   ways : int;
   line_bytes : int;
   index_shift : int;
+  sets_shift : int; (* log2 sets, precomputed: access is the simulator's hottest loop *)
   tags : int array; (* sets * ways; -1 = invalid *)
   stamps : int array; (* LRU timestamps, parallel to [tags] *)
   mutable clock : int;
@@ -31,6 +32,7 @@ let create ~name ~size_bytes ~ways ~line_bytes =
     ways;
     line_bytes;
     index_shift = log2 line_bytes;
+    sets_shift = log2 sets;
     tags = Array.make (sets * ways) (-1);
     stamps = Array.make (sets * ways) 0;
     clock = 0;
@@ -43,28 +45,28 @@ let sets t = t.sets
 let ways t = t.ways
 let line_bytes t = t.line_bytes
 
-let set_and_tag t pa =
-  let line = pa lsr t.index_shift in
-  (line land (t.sets - 1), line lsr (log2 t.sets))
-
-let find t set tag =
+(* Allocation-free slot search: [-1] for miss. *)
+let find_slot t set tag =
   let base = set * t.ways in
   let rec go w =
-    if w = t.ways then None
-    else if t.tags.(base + w) = tag then Some (base + w)
+    if w = t.ways then -1
+    else if t.tags.(base + w) = tag then base + w
     else go (w + 1)
   in
   go 0
 
 let access t pa =
   t.clock <- t.clock + 1;
-  let set, tag = set_and_tag t pa in
-  match find t set tag with
-  | Some slot ->
+  let line = pa lsr t.index_shift in
+  let set = line land (t.sets - 1) in
+  let tag = line lsr t.sets_shift in
+  let slot = find_slot t set tag in
+  if slot >= 0 then begin
     t.stamps.(slot) <- t.clock;
     t.hits <- t.hits + 1;
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* Evict LRU way (or fill an invalid one). *)
     let base = set * t.ways in
@@ -75,10 +77,11 @@ let access t pa =
     t.tags.(!victim) <- tag;
     t.stamps.(!victim) <- t.clock;
     false
+  end
 
 let probe t pa =
-  let set, tag = set_and_tag t pa in
-  find t set tag <> None
+  let line = pa lsr t.index_shift in
+  find_slot t (line land (t.sets - 1)) (line lsr t.sets_shift) >= 0
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

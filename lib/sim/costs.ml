@@ -21,6 +21,11 @@ let vmfunc = 134
 (* §2.1.3: one inter-processor interrupt. *)
 let ipi = 1913
 
+(* INVLPG single-page invalidation. The paper does not measure it; this
+   is a Skylake-class public figure of the same order as other
+   serializing TLB maintenance, kept well below a PCID CR3 write. *)
+let invlpg = 120
+
 (* §2.1.1: seL4 fastpath software IPC logic (checks, endpoint management,
    capability enforcement). *)
 let sel4_fastpath_logic = 98

@@ -7,6 +7,12 @@ type t = {
   l3 : Cache.t;
   itlb : Tlb.t;
   dtlb : Tlb.t;
+  (* Translation acceleration (Skylake-like): paging-structure caches
+     keyed by VA prefix, and the nested (EPT) walk cache keyed by GPN. *)
+  psc_pml4e : Psc.t;
+  psc_pdpte : Psc.t;
+  psc_pde : Psc.t;
+  ept_walk_cache : Psc.t;
   pmu : Pmu.t;
 }
 
@@ -29,6 +35,14 @@ let create ~id ~l3 =
     l3;
     itlb = Tlb.create ~name:(Printf.sprintf "core%d.itlb" id) ~entries:128 ~ways:8;
     dtlb = Tlb.create ~name:(Printf.sprintf "core%d.dtlb" id) ~entries:64 ~ways:4;
+    psc_pml4e =
+      Psc.create ~name:(Printf.sprintf "core%d.psc_pml4e" id) ~entries:16 ~ways:4;
+    psc_pdpte =
+      Psc.create ~name:(Printf.sprintf "core%d.psc_pdpte" id) ~entries:16 ~ways:4;
+    psc_pde =
+      Psc.create ~name:(Printf.sprintf "core%d.psc_pde" id) ~entries:32 ~ways:4;
+    ept_walk_cache =
+      Psc.create ~name:(Printf.sprintf "core%d.ept_wc" id) ~entries:64 ~ways:4;
     pmu = Pmu.create ();
   }
 
@@ -55,6 +69,22 @@ let l2 t = t.l2
 let l3 t = t.l3
 let itlb t = t.itlb
 let dtlb t = t.dtlb
+let psc_pml4e t = t.psc_pml4e
+let psc_pdpte t = t.psc_pdpte
+let psc_pde t = t.psc_pde
+let ept_walk_cache t = t.ept_walk_cache
+
+(* Flush everything a guest-linear translation can be built from: the
+   leaf TLBs and the paging-structure caches. The EPT walk cache is
+   keyed by host-physical EPT root and survives guest-side flushes,
+   exactly like the hardware nested-walk cache. *)
+let flush_guest_translation t =
+  Tlb.flush_all t.itlb;
+  Tlb.flush_all t.dtlb;
+  Psc.flush_all t.psc_pml4e;
+  Psc.flush_all t.psc_pdpte;
+  Psc.flush_all t.psc_pde
+
 let pmu t = t.pmu
 
 type footprint = {
@@ -83,6 +113,10 @@ let reset_stats t =
   Cache.reset_stats t.l3;
   Tlb.reset_stats t.itlb;
   Tlb.reset_stats t.dtlb;
+  Psc.reset_stats t.psc_pml4e;
+  Psc.reset_stats t.psc_pdpte;
+  Psc.reset_stats t.psc_pde;
+  Psc.reset_stats t.ept_walk_cache;
   Pmu.reset t.pmu
 
 let flush_all t =
@@ -92,4 +126,8 @@ let flush_all t =
   Cache.flush t.l2;
   Cache.flush t.l3;
   Tlb.flush_all t.itlb;
-  Tlb.flush_all t.dtlb
+  Tlb.flush_all t.dtlb;
+  Psc.flush_all t.psc_pml4e;
+  Psc.flush_all t.psc_pdpte;
+  Psc.flush_all t.psc_pde;
+  Psc.flush_all t.ept_walk_cache

@@ -28,6 +28,24 @@ val l2 : t -> Cache.t
 val l3 : t -> Cache.t
 val itlb : t -> Tlb.t
 val dtlb : t -> Tlb.t
+
+val psc_pml4e : t -> Psc.t
+(** Paging-structure cache over VA bits 47:39 → PDPT base GPA. *)
+
+val psc_pdpte : t -> Psc.t
+(** VA bits 47:30 → PD base GPA. *)
+
+val psc_pde : t -> Psc.t
+(** VA bits 47:21 → PT base GPA. *)
+
+val ept_walk_cache : t -> Psc.t
+(** Nested-walk cache: (EPT root, GPN) → HPN. *)
+
+val flush_guest_translation : t -> unit
+(** Flush leaf TLBs and paging-structure caches (what an untagged CR3
+    write or VMFUNC without VPID flushes). The EPT walk cache is keyed
+    by host-physical EPT root and deliberately survives. *)
+
 val pmu : t -> Pmu.t
 
 type footprint = {

@@ -31,3 +31,64 @@ let touch_range cpu kind ~pa ~len =
       access cpu kind (l * line)
     done
   end
+
+(* Host-side hot lines: a flat direct-mapped memo over the most recent
+   TLB hits, keyed by (core, i/d-side, VPN low bits). A probe that
+   revalidates its remembered TLB slot (same live (asid, vpn) — ASIDs
+   encode PCID and EPTP root, so a hit is also correct across processes
+   and EPTP switches) reproduces the exact observable state of a TLB
+   hit while skipping the set scan and the surrounding walk machinery
+   in the translation layer. Pure host-speed optimization: simulated
+   cycles, counters and LRU state are bit-identical.
+
+   Lines hold an OCaml pointer to the owning Tlb.t, compared physically
+   on probe, so stale lines from a torn-down machine can never match a
+   new machine's structures. Fault-injection scope entry clears all
+   lines (registered below) so chaos runs exercise the full path and
+   stay bit-identical whether or not lines were warm. *)
+module Hotline = struct
+  type line = {
+    mutable h_tlb : Tlb.t option;
+    mutable h_slot : Tlb.slot option;
+    mutable h_asid : int;
+    mutable h_vpn : int;
+  }
+
+  let max_cores = 64
+  let lines_per_side = 16
+
+  let table =
+    Array.init (max_cores * 2 * lines_per_side) (fun _ ->
+        { h_tlb = None; h_slot = None; h_asid = 0; h_vpn = 0 })
+
+  let line_for ~core ~insn ~vpn =
+    let side = if insn then 1 else 0 in
+    let core = core land (max_cores - 1) in
+    table.(((core * 2) + side) * lines_per_side + (vpn land (lines_per_side - 1)))
+
+  let probe line ~tlb ~asid ~vpn =
+    match line.h_slot with
+    | Some slot
+      when (match line.h_tlb with Some t -> t == tlb | None -> false)
+           && line.h_asid = asid && line.h_vpn = vpn ->
+      Tlb.slot_hit tlb slot ~asid ~vpn
+    | _ -> None
+
+  let record line ~tlb ~slot ~asid ~vpn =
+    line.h_tlb <- Some tlb;
+    line.h_slot <- Some slot;
+    line.h_asid <- asid;
+    line.h_vpn <- vpn
+
+  let clear_all () =
+    Array.iter
+      (fun l ->
+        l.h_tlb <- None;
+        l.h_slot <- None)
+      table
+
+  (* Chaos determinism: entering a fault-injection scope drops every
+     hot line, so the translation layer takes the same code path with
+     the same site hooks regardless of prior warm-up. *)
+  let () = Sky_faults.Fault.on_scope_enter clear_all
+end

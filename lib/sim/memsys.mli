@@ -25,3 +25,19 @@ val access_uncached : Cpu.t -> unit
 val touch_range : Cpu.t -> kind -> pa:int -> len:int -> unit
 (** Access every 64-byte line of [pa, pa+len) — used to model code or data
     footprints (e.g. the kernel text executed during an IPC). *)
+
+(** Host-side hot lines: a flat direct-mapped memo over recent TLB hits,
+    keyed by (core, i/d-side, VPN). A successful probe revalidates the
+    remembered {!Tlb.slot} and reproduces the exact observable state of
+    a TLB hit (simulated cycles, counters, LRU) while letting the
+    translation layer skip its walk machinery — a pure host wall-clock
+    optimization. Cleared on fault-scope entry so chaos runs are
+    bit-identical. *)
+module Hotline : sig
+  type line
+
+  val line_for : core:int -> insn:bool -> vpn:int -> line
+  val probe : line -> tlb:Tlb.t -> asid:int -> vpn:int -> Tlb.entry option
+  val record : line -> tlb:Tlb.t -> slot:Tlb.slot -> asid:int -> vpn:int -> unit
+  val clear_all : unit -> unit
+end

@@ -4,7 +4,15 @@
     structures") plus counters the harness uses (IPIs, VM exits, IPC
     counts). Cache and TLB miss counters are derived from {!Cache} /
     {!Tlb} statistics by {!Cpu.footprint}; this module holds the events
-    that are not attached to a particular structure. *)
+    that are not attached to a particular structure.
+
+    The translation-acceleration events attribute the walk savings:
+    [Psc_hit]/[Psc_miss] count TLB refills that could / could not resume
+    the guest walk from a paging-structure cache, [Ept_walk_cache_*]
+    count nested translations served from the EPT walk cache, and
+    [Walk_cycles] accumulates the simulated cycles spent inside TLB
+    refills (read as a delta by the IPC layers for the Figure-7
+    breakdown's "walk" column). *)
 
 type event =
   | Ipi_sent
@@ -14,8 +22,14 @@ type event =
   | Cr3_write
   | Ipc_roundtrip
   | Instruction
+  | Psc_hit
+  | Psc_miss
+  | Ept_walk_cache_hit
+  | Ept_walk_cache_miss
+  | Hot_line_hit
+  | Walk_cycles
 
-let n_events = 7
+let n_events = 13
 
 let index = function
   | Ipi_sent -> 0
@@ -25,6 +39,12 @@ let index = function
   | Cr3_write -> 4
   | Ipc_roundtrip -> 5
   | Instruction -> 6
+  | Psc_hit -> 7
+  | Psc_miss -> 8
+  | Ept_walk_cache_hit -> 9
+  | Ept_walk_cache_miss -> 10
+  | Hot_line_hit -> 11
+  | Walk_cycles -> 12
 
 let name = function
   | Ipi_sent -> "ipi_sent"
@@ -34,6 +54,12 @@ let name = function
   | Cr3_write -> "cr3_write"
   | Ipc_roundtrip -> "ipc_roundtrip"
   | Instruction -> "instruction"
+  | Psc_hit -> "psc_hit"
+  | Psc_miss -> "psc_miss"
+  | Ept_walk_cache_hit -> "ept_walk_cache_hit"
+  | Ept_walk_cache_miss -> "ept_walk_cache_miss"
+  | Hot_line_hit -> "hot_line_hit"
+  | Walk_cycles -> "walk_cycles"
 
 type t = { counts : int array }
 

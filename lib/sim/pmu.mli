@@ -13,6 +13,12 @@ type event =
   | Cr3_write
   | Ipc_roundtrip
   | Instruction
+  | Psc_hit  (** TLB refill resumed the guest walk from a PSC level *)
+  | Psc_miss  (** TLB refill had to walk from CR3 *)
+  | Ept_walk_cache_hit
+  | Ept_walk_cache_miss
+  | Hot_line_hit  (** host-side hot line served the translation *)
+  | Walk_cycles  (** accumulator: simulated cycles spent in TLB refills *)
 
 type t
 

@@ -1,7 +1,14 @@
 type entry = { ppn : int; page_shift : int; writable : bool; user : bool }
 
+(* A slot is live iff
+     valid  &&  gen = t.gen  &&  stamp > asid_floor(asid)  &&  epoch fresh.
+   [flush_all] bumps [t.gen] (O(1)); [flush_asid] records the current
+   LRU clock as that ASID's "floor", deadening every older stamp (O(1));
+   a global [Accel] epoch change invalidates the whole structure lazily.
+   Nothing ever iterates the slot array on a flush. *)
 type slot = {
   mutable valid : bool;
+  mutable gen : int;
   mutable asid : int;
   mutable vpn : int;
   mutable stamp : int;
@@ -13,6 +20,9 @@ type t = {
   sets : int;
   ways : int;
   slots : slot array;
+  asid_floors : (int, int) Hashtbl.t;
+  mutable gen : int;
+  mutable seen_epoch : int;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -29,64 +39,132 @@ let create ~name ~entries ~ways =
   if not (is_pow2 sets) then invalid_arg "Tlb.create: sets not pow2";
   let slots =
     Array.init entries (fun _ ->
-        { valid = false; asid = 0; vpn = 0; stamp = 0; entry = dummy_entry })
+        { valid = false; gen = 0; asid = 0; vpn = 0; stamp = 0;
+          entry = dummy_entry })
   in
-  { name; sets; ways; slots; clock = 0; hits = 0; misses = 0 }
+  { name; sets; ways; slots; asid_floors = Hashtbl.create 7; gen = 0;
+    seen_epoch = Accel.current_epoch (); clock = 0; hits = 0; misses = 0 }
 
 let name t = t.name
 let capacity t = Array.length t.slots
 let set_of t vpn = vpn land (t.sets - 1)
 
+(* Mapping mutations elsewhere in the machine (EPT unmap/remap, guest
+   page-table unmap, table teardown) bump the global epoch; drop all
+   entries the first time we are consulted afterwards. *)
+let sync t =
+  let e = Accel.current_epoch () in
+  if t.seen_epoch <> e then begin
+    t.seen_epoch <- e;
+    t.gen <- t.gen + 1;
+    Hashtbl.reset t.asid_floors
+  end
+
+let floor_of t asid =
+  if Hashtbl.length t.asid_floors = 0 then min_int
+  else match Hashtbl.find_opt t.asid_floors asid with
+    | Some f -> f
+    | None -> min_int
+
+let live t s = s.valid && s.gen = t.gen && s.stamp > floor_of t s.asid
+
 let find t ~asid ~vpn =
   let base = set_of t vpn * t.ways in
+  let floor = floor_of t asid in
   let rec go w =
     if w = t.ways then None
     else
       let s = t.slots.(base + w) in
-      if s.valid && s.asid = asid && s.vpn = vpn then Some s else go (w + 1)
+      if s.valid && s.gen = t.gen && s.asid = asid && s.vpn = vpn
+         && s.stamp > floor
+      then Some s
+      else go (w + 1)
   in
   go 0
 
-let lookup t ~asid ~vpn =
+let lookup_slot t ~asid ~vpn =
+  sync t;
   t.clock <- t.clock + 1;
   match find t ~asid ~vpn with
   | Some s ->
     s.stamp <- t.clock;
     t.hits <- t.hits + 1;
-    Some s.entry
+    Some s
   | None ->
     t.misses <- t.misses + 1;
     None
 
+let lookup t ~asid ~vpn =
+  match lookup_slot t ~asid ~vpn with
+  | Some s -> Some s.entry
+  | None -> None
+
+let slot_entry s = s.entry
+
+(* Hot-line revalidation: the caller remembered [s] from an earlier
+   lookup of the same (asid, vpn). If the slot still holds that live
+   mapping, replicate the observable effects of a hit (LRU clock,
+   stamp, hit counter) without scanning the set. Failure counts
+   nothing — the caller falls back to [lookup_slot], which accounts
+   the access. *)
+let slot_hit t s ~asid ~vpn =
+  sync t;
+  if s.valid && s.gen = t.gen && s.asid = asid && s.vpn = vpn
+     && s.stamp > floor_of t asid
+  then begin
+    t.clock <- t.clock + 1;
+    s.stamp <- t.clock;
+    t.hits <- t.hits + 1;
+    Some s.entry
+  end
+  else None
+
 let insert t ~asid ~vpn entry =
+  sync t;
   t.clock <- t.clock + 1;
   match find t ~asid ~vpn with
   | Some s ->
     s.entry <- entry;
     s.stamp <- t.clock
   | None ->
-    (* Prefer an invalid slot, otherwise evict the LRU way. *)
+    (* Prefer a dead slot, otherwise evict the LRU way. *)
     let base = set_of t vpn * t.ways in
     let victim = ref t.slots.(base) in
     for w = 1 to t.ways - 1 do
       let s = t.slots.(base + w) in
       let v = !victim in
-      if v.valid && ((not s.valid) || s.stamp < v.stamp) then victim := s
+      if live t v && ((not (live t s)) || s.stamp < v.stamp) then victim := s
     done;
     let s = !victim in
     s.valid <- true;
+    s.gen <- t.gen;
     s.asid <- asid;
     s.vpn <- vpn;
     s.entry <- entry;
     s.stamp <- t.clock
 
-let flush_all t = Array.iter (fun s -> s.valid <- false) t.slots
+let flush_all t =
+  sync t;
+  t.gen <- t.gen + 1;
+  Hashtbl.reset t.asid_floors
 
 let flush_asid t ~asid =
-  Array.iter (fun s -> if s.asid = asid then s.valid <- false) t.slots
+  sync t;
+  (* Everything tagged [asid] with stamp <= now is dead; entries the
+     ASID inserts later get fresher stamps and match again. *)
+  Hashtbl.replace t.asid_floors asid t.clock
 
 let flush_page t ~asid ~vpn =
+  sync t;
   match find t ~asid ~vpn with Some s -> s.valid <- false | None -> ()
+
+let flush_vpn_all_asids t ~vpn =
+  sync t;
+  let base = set_of t vpn * t.ways in
+  for w = 0 to t.ways - 1 do
+    let s = t.slots.(base + w) in
+    if s.vpn = vpn then s.valid <- false
+  done
 
 let hits t = t.hits
 let misses t = t.misses

@@ -2,9 +2,15 @@
 
     Set-associative, LRU, keyed by virtual page number and an address-space
     identifier. The ASID is an opaque tag composed by the MMU layer from
-    (VPID, PCID, EPTP index) so that, as on real hardware with VPID+PCID
+    (VPID, PCID, EPTP root) so that, as on real hardware with VPID+PCID
     enabled, neither CR3 writes nor VMFUNC EPTP switches need flush the
-    TLB — stale entries are simply never matched. *)
+    TLB — stale entries are simply never matched.
+
+    All flushes are O(1) on the slot array: [flush_all] bumps a
+    generation counter, [flush_asid] records a per-ASID LRU-clock floor,
+    and mapping mutations elsewhere in the machine (EPT unmap/remap,
+    guest page-table unmap/protect, table teardown) invalidate every
+    instance lazily through the global {!Accel} mutation epoch. *)
 
 type t
 
@@ -15,6 +21,11 @@ type entry = {
   user : bool;
 }
 
+type slot
+(** A handle on the internal storage of one entry, for hot-line
+    memoization: remember the slot a lookup hit and revalidate it with
+    {!slot_hit} instead of re-scanning the set. *)
+
 val create : name:string -> entries:int -> ways:int -> t
 
 val name : t -> string
@@ -23,15 +34,32 @@ val capacity : t -> int
 val lookup : t -> asid:int -> vpn:int -> entry option
 (** Hit updates LRU state and the hit counter; miss counts a miss. *)
 
+val lookup_slot : t -> asid:int -> vpn:int -> slot option
+(** Like {!lookup} but returns the slot handle on a hit. *)
+
+val slot_entry : slot -> entry
+
+val slot_hit : t -> slot -> asid:int -> vpn:int -> entry option
+(** If [slot] still holds a live mapping for (asid, vpn), count a hit,
+    update LRU state and return the entry — observably identical to a
+    {!lookup} hit, without the set scan. Returns [None] (and counts
+    nothing) if the slot was reused, flushed or outlived by a flush;
+    the caller then falls back to {!lookup}/{!lookup_slot}. *)
+
 val insert : t -> asid:int -> vpn:int -> entry -> unit
 
 val flush_all : t -> unit
+(** O(1): bumps the generation counter. *)
 
 val flush_asid : t -> asid:int -> unit
-(** Invalidate every entry tagged [asid] (INVPCID-style). *)
+(** Invalidate every entry tagged [asid] (INVPCID-style). O(1). *)
 
 val flush_page : t -> asid:int -> vpn:int -> unit
 (** INVLPG-style single-entry invalidation. *)
+
+val flush_vpn_all_asids : t -> vpn:int -> unit
+(** Invalidate [vpn] under every ASID (INVLPG also drops
+    paging-structure-cache entries regardless of PCID). O(ways). *)
 
 val hits : t -> int
 val misses : t -> int
