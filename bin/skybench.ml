@@ -192,9 +192,10 @@ let audit_cmd =
 
 let chaos_cmd =
   let doc =
-    "Run the KV pipeline and the SQLite/xv6fs stack under a seeded, \
-     deterministic fault storm (crashes, hangs, dropped replies, EPT \
-     faults, binding revocation) and report the recovery census: \
+    "Run the KV pipeline, the SQLite/xv6fs stack, the web stack and the \
+     URI-routed service mesh under a seeded, deterministic fault storm \
+     (crashes, hangs, dropped replies, EPT faults, binding revocation) \
+     and report the recovery census: \
      recovered, degraded (slowpath) and lost calls, server restarts, \
      forced §7 returns, post-storm audit and fsck. The same seed yields \
      a bit-identical census. Exit code 0 iff no call was lost, the \
@@ -280,6 +281,59 @@ let web_cmd =
   in
   Cmd.v (Cmd.info "web" ~doc)
     Term.(const run $ seed $ cores $ conns $ requests $ json $ no_accel)
+
+let mesh_cmd =
+  let doc =
+    "Run the composed service-mesh scenario: load generator → NIC (2 RX \
+     rings) → 4 skyhttpd workers fanned out over one multi-receiver \
+     endpoint (work stealing; two workers own no ring at all) → KV + \
+     xv6fs + blockdev, every backend hop addressed purely by URI \
+     (kv://, fs://, blk://) through the capability-routed mesh. Mid-run \
+     the KV service is hot-upgraded make-before-break (grant v2, flip \
+     the name, revoke v1) and one worker's fs:// capability is revoked \
+     — its requests bounce to privileged peers. Writes BENCH_mesh.json \
+     with --json; the JSON is byte-deterministic, so CI diffs two \
+     same-seed runs. Exit code 0 iff every request was served and \
+     validated, requests fanned out across all workers, both KV \
+     generations served traffic, denials were absorbed without loss, \
+     and the mesh and subkernel audits are clean."
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Sky_experiments.Exp_mesh.default_seed
+      & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the result as JSON and write BENCH_mesh.json.")
+  in
+  let run seed json =
+    let r, host_seconds =
+      timed (fun () -> Sky_experiments.Exp_mesh.run_mesh ~seed ())
+    in
+    if json then begin
+      let j = Sky_experiments.Exp_mesh.to_json r in
+      print_endline j;
+      let path = Sky_harness.Artifact.write ~name:"mesh" ~host_seconds j in
+      Printf.eprintf "wrote %s (%.2fs host)\n" path host_seconds
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_mesh.table r);
+    if not (Sky_experiments.Exp_mesh.ok r) then begin
+      Printf.eprintf
+        "mesh: acceptance failed (served=%b fanout=%b upgraded=%b \
+         degraded=%b audits=%b lost=%d)\n"
+        (Sky_experiments.Exp_mesh.all_served r)
+        (Sky_experiments.Exp_mesh.fanned_out r)
+        (Sky_experiments.Exp_mesh.upgraded r)
+        (Sky_experiments.Exp_mesh.degraded r)
+        (Sky_experiments.Exp_mesh.audits_clean r)
+        r.Sky_experiments.Exp_mesh.m_lost;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "mesh" ~doc) Term.(const run $ seed $ json)
 
 (* bench/budgets.json is flat enough ({"pingpong":{"cycles_per_call":N}})
    that a substring scan beats pulling in a JSON parser dependency. Finds
@@ -389,5 +443,5 @@ let () =
           (Cmd.info "skybench" ~doc ~version:"1.0")
           [
             list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd;
-            web_cmd; perf_cmd;
+            web_cmd; mesh_cmd; perf_cmd;
           ]))

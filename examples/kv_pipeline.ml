@@ -13,8 +13,12 @@ let make config =
   let kernel = Kernel.create machine in
   match config with
   | Pipeline.Skybridge ->
+    (* URI-addressed through the service mesh: the servers register as
+       [enc://] and [kv://] with the name service and the client calls
+       by URI under capability-granted bindings. *)
     let sb = Sky_core.Subkernel.init kernel in
-    Pipeline.create ~sb kernel config
+    let mesh = Sky_mesh.Mesh.create sb in
+    Pipeline.create ~sb ~mesh kernel config
   | _ -> Pipeline.create kernel config
 
 let () =

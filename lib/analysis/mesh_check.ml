@@ -1,0 +1,39 @@
+(** Mesh-layer audit: the service mesh's two liveness/authority
+    invariants, checked over plain data so [lib/analysis] stays below
+    [lib/core] in the dependency order (the caller lowers the live
+    binding set and a capability-coverage predicate out of its
+    registries):
+
+    - [mesh.binding-outlives-cap] — every live Subkernel binding
+      (client pid → server id) must be covered by a live capability
+      carrying at least the send right. A binding that survives the
+      revocation of the capability that justified it is exactly the
+      privilege-escalation hole the mesh's refcounted grant/revoke is
+      supposed to close.
+    - [mesh.uri-dangling] — no name-service entry may resolve to a dead
+      server: a crash during a resolved call must not leave a dangling
+      binding reachable by URI. *)
+
+let check ~bindings ~covered ~resolutions ~dead =
+  let orphaned =
+    List.filter_map
+      (fun (pid, server_id) ->
+        if covered ~pid ~server_id then None
+        else
+          Some
+            (Report.v ~addr:server_id ~invariant:"mesh.binding-outlives-cap"
+               ~image:(Printf.sprintf "pid%d->sid%d" pid server_id)
+               "live binding with no live capability covering it"))
+      bindings
+  in
+  let dangling =
+    List.filter_map
+      (fun (uri, sid) ->
+        if List.mem sid dead then
+          Some
+            (Report.v ~addr:sid ~invariant:"mesh.uri-dangling" ~image:uri
+               "URI resolves to a dead server")
+        else None)
+      resolutions
+  in
+  Report.sort (orphaned @ dangling)

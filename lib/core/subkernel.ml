@@ -85,6 +85,8 @@ type t = {
   mutable restarts : int;
   trampoline_frame : int;  (** one shared physical frame for the code page *)
   trampoline_bytes : bytes;
+  mutable binding_hooks : (server_id:int -> unit) list;
+      (** observers of binding-set changes (the mesh name-service cache) *)
 }
 
 let log_src = Logs.Src.create "skybridge.subkernel" ~doc:"SkyBridge Subkernel"
@@ -125,6 +127,21 @@ let call_state t ~core =
   match t.call_stack.(core) with [] -> None | frame :: _ -> Some frame
 
 let pstate_opt t proc = Hashtbl.find_opt t.pstates proc.Proc.pid
+
+let on_binding_change t f = t.binding_hooks <- f :: t.binding_hooks
+
+let fire_binding_change t ~server_id =
+  List.iter (fun f -> f ~server_id) t.binding_hooks
+
+(* Every live direct binding, as (client pid, server id) pairs in a
+   deterministic order — the raw material for the mesh auditor's
+   "no binding outlives its capability" check. *)
+let bindings t =
+  Hashtbl.fold
+    (fun pid ps acc ->
+      List.fold_left (fun acc b -> (pid, b.b_server_id) :: acc) acc ps.bindings)
+    t.pstates []
+  |> List.sort compare
 
 let eptp_list_of ps =
   Ept.root_pa ps.own_ept :: List.map (fun b -> Ept.root_pa b.ept) ps.installed
@@ -176,6 +193,7 @@ let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
       restarts = 0;
       trampoline_frame;
       trampoline_bytes;
+      binding_hooks = [];
     }
   in
   kernel.Kernel.on_context_switch <-
@@ -399,6 +417,8 @@ let rec dep_closure t server_id =
   server_id
   :: List.concat_map (fun d -> dep_closure t d) srv.deps
 
+let server_dep_closure t ~server_id = List.sort_uniq compare (dep_closure t server_id)
+
 let fresh_key t =
   let k = Rng.next_int64 t.rng in
   if k = 0L then 1L else k
@@ -523,7 +543,8 @@ let register_client_to_server t proc ~server_id =
           ignore (bind_one t ps ~server_id:sid ~key ~share_with:chain_procs)
         end)
       closure;
-    ps.revoked <- List.filter (fun sid -> not (List.mem sid closure)) ps.revoked
+    ps.revoked <- List.filter (fun sid -> not (List.mem sid closure)) ps.revoked;
+    List.iter (fun sid -> fire_binding_change t ~server_id:sid) closure
   end
 
 (* ------------------------------------------------------------------ *)
@@ -584,7 +605,7 @@ let refresh_lists t ps =
       | _ -> ())
     t.kernel.Kernel.running
 
-let revoke_binding t ~core proc ~server_id ~reason =
+let revoke_binding ?(orphan = true) t ~core proc ~server_id ~reason =
   match pstate_opt t proc with
   | None -> ()
   | Some ps -> (
@@ -596,7 +617,9 @@ let revoke_binding t ~core proc ~server_id ~reason =
         List.map (fun x -> if x == b then dummy_binding ps else x) ps.installed;
       if not (List.mem server_id ps.revoked) then
         ps.revoked <- server_id :: ps.revoked;
-      if not (List.mem (proc.Proc.pid, server_id) t.orphans) then
+      (* [orphan = false] is the capability-revocation path: the teardown
+         is permanent, so a later [restart_server] must NOT rebind it. *)
+      if orphan && not (List.mem (proc.Proc.pid, server_id) t.orphans) then
         t.orphans <- (proc.Proc.pid, server_id) :: t.orphans;
       clear_key t (find_server t server_id) ~client_pid:proc.Proc.pid
         ~key:b.server_key;
@@ -604,7 +627,8 @@ let revoke_binding t ~core proc ~server_id ~reason =
       security t
         (Printf.sprintf "revoked binding pid %d -> server %d: %s" proc.Proc.pid
            server_id reason);
-      Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.revoke")
+      Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.revoke";
+      fire_binding_change t ~server_id)
 
 let server_dead t server_id = List.mem server_id t.dead_servers
 

@@ -92,11 +92,20 @@ val call :
     its own EPT (VMFUNC-0 + saved-register restore) first. *)
 
 val revoke_binding :
-  t -> core:int -> Sky_ukernel.Proc.t -> server_id:int -> reason:string -> unit
+  ?orphan:bool ->
+  t ->
+  core:int ->
+  Sky_ukernel.Proc.t ->
+  server_id:int ->
+  reason:string ->
+  unit
 (** Tear down one binding: remove it (the EPTP slot degenerates to the
     client's own EPT root, keeping slot positions stable), zero the
     calling-key table entry, refresh installed EPTP lists, and log a
-    security event. Subsequent {!call}s fall back to the slowpath. *)
+    security event. Subsequent {!call}s fall back to the slowpath.
+    [orphan] (default true) records the pair for {!restart_server}
+    rebinding; pass [false] for a permanent teardown (the mesh's
+    capability-revocation path) that recovery must never re-establish. *)
 
 val restart_server : t -> server_id:int -> unit
 (** Revive a crashed server and rebind every orphaned connection with
@@ -104,6 +113,22 @@ val restart_server : t -> server_id:int -> unit
 
 val rebind : t -> Sky_ukernel.Proc.t -> server_id:int -> unit
 (** Re-establish a single revoked binding (fresh key, fresh EPT). *)
+
+val bindings : t -> (int * int) list
+(** Every live direct binding as a sorted [(client_pid, server_id)] list
+    — what the mesh auditor checks against the capability registry. *)
+
+val on_binding_change : t -> (server_id:int -> unit) -> unit
+(** Subscribe to binding-set changes: fired after a binding to
+    [server_id] is created ({!register_client_to_server}, {!rebind},
+    {!restart_server}) or destroyed ({!revoke_binding}). The mesh name
+    service uses this to drop stale resolution-cache entries so a crash
+    mid-call never leaves a dangling binding reachable by URI. *)
+
+val server_dep_closure : t -> server_id:int -> int list
+(** The server ids a client binding to [server_id] is transitively bound
+    to (the §4.2 dependency closure, including [server_id] itself),
+    sorted. *)
 
 val dead_servers : t -> int list
 val degraded_calls : t -> int

@@ -8,7 +8,11 @@
     (client → xv6fs → blockdev) with the crash-safe subset (dispatch
     crashes, hangs, random mid-op crashes): each crash triggers a server
     restart plus an FS remount, whose log recovery must leave the image
-    consistent (checked by fsck afterwards).
+    consistent (checked by fsck afterwards). Scenario C storms the
+    skyhttpd web stack, and scenario D the URI-routed service mesh —
+    name-service crashes mid-resolve, receiver crashes mid-request and
+    backend crashes layered under the scripted hot upgrade and
+    capability revocation.
 
     Everything is seeded: the same [--seed] yields a bit-identical
     census, byte for byte, run after run. *)
@@ -188,6 +192,42 @@ let run_web ~seed =
     s_fsck = Some (List.length fsck);
   }
 
+(* ---- scenario D: the URI-routed service mesh under storm ---- *)
+
+(* The three mesh-specific failure points: the name service crashes
+   mid-resolve (clients must re-resolve through Retry and land on a
+   restarted nameserv with a coherent registry), an endpoint receiver
+   crashes mid-request (the parked request replays, the wake fans out
+   to the surviving receivers), and the KV backend crashes at dispatch.
+   The scripted hot upgrade and fs:// revocation from [Exp_mesh] run
+   concurrently with the storm. *)
+let mesh_storm seed =
+  Fault.reset ~seed ();
+  Fault.arm ~budget:2 ~site:Sky_mesh.Mesh.fault_site ~kind:Fault.Crash
+    (Fault.At_hit 9);
+  Fault.arm ~budget:2 ~site:Sky_net.Httpd.fault_site ~kind:Fault.Crash
+    (Fault.Every 31);
+  Fault.arm ~budget:1 ~site:Sky_net.Httpd.fault_site ~kind:Fault.Hang
+    (Fault.At_hit 75);
+  Fault.arm ~budget:2 ~site:"server.kvstore" ~kind:Fault.Crash (Fault.At_hit 55)
+
+let run_mesh ~seed =
+  let r = Exp_mesh.run_mesh ~seed ~storm:(fun () -> mesh_storm seed) () in
+  Fault.disable ();
+  {
+    s_name = "mesh-uri-routed";
+    s_attempts = r.Exp_mesh.m_attempts;
+    s_injected = Fault.fired_counts ();
+    s_recovered = r.Exp_mesh.m_recovered;
+    s_degraded = r.Exp_mesh.m_degraded;
+    s_lost = r.Exp_mesh.m_lost;
+    s_restarts = r.Exp_mesh.m_restarts;
+    s_forced_returns = r.Exp_mesh.m_forced_returns;
+    s_sec_dropped = r.Exp_mesh.m_sec_dropped;
+    s_audit = r.Exp_mesh.m_audit + r.Exp_mesh.m_mesh_audit;
+    s_fsck = Some r.Exp_mesh.m_fsck;
+  }
+
 (* ---- census ---- *)
 
 let run_chaos ~seed =
@@ -195,7 +235,8 @@ let run_chaos ~seed =
   (* Decorrelate the storms while keeping each a function of [seed]. *)
   let b = run_fs ~seed:(seed lxor 0x5eed) in
   let c = run_web ~seed:(seed lxor 0x3eb) in
-  { c_seed = seed; c_scenarios = [ a; b; c ] }
+  let d = run_mesh ~seed:(seed lxor 0x3e5b) in
+  { c_seed = seed; c_scenarios = [ a; b; c; d ] }
 
 let clean c =
   List.for_all

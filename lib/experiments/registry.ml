@@ -38,6 +38,9 @@ let all =
       run = Exp_chaos.run };
     { id = "web"; title = "Web serving: throughput vs workers, SkyBridge vs slowpath IPC";
       run = Exp_web.run };
+    { id = "mesh";
+      title = "Service mesh: URI-routed composed stack, hot upgrade + revocation";
+      run = Exp_mesh.run };
     { id = "ycsbmix"; title = "Extension: YCSB A/B/C mix sensitivity";
       run = Exp_extensions.run_ycsb_mix };
     { id = "pingpong";

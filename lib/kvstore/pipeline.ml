@@ -92,7 +92,7 @@ type t = {
   rstats : Sky_core.Retry.stats option;
 }
 
-let create ?sb ?ipc ?(resilient = false) kernel config =
+let create ?sb ?ipc ?mesh ?(resilient = false) kernel config =
   let machine = kernel.Kernel.machine in
   let rc4 = Rc4.create machine ~key:"skybridge-pipeline" in
   let kv = Kv_server.create machine in
@@ -175,8 +175,26 @@ let create ?sb ?ipc ?(resilient = false) kernel config =
     let kv_proc = Kernel.spawn kernel ~name:"kv-server" in
     let enc_sid = Sky_core.Subkernel.register_server sb enc_proc enc_h in
     let kv_sid = Sky_core.Subkernel.register_server sb kv_proc kv_h in
-    Sky_core.Subkernel.register_client_to_server sb client ~server_id:enc_sid;
-    Sky_core.Subkernel.register_client_to_server sb client ~server_id:kv_sid;
+    (match mesh with
+    | Some m ->
+      (* URI addressing: servers register with the name service and the
+         client is capability-granted (which also binds it); every call
+         resolves [enc://] / [kv://] through the per-core cache. *)
+      let module Mesh = Sky_mesh.Mesh in
+      Mesh.register m ~core:0 ~uri:"enc://" ~server_id:enc_sid;
+      Mesh.register m ~core:0 ~uri:"kv://" ~server_id:kv_sid;
+      ignore (Mesh.grant m ~core:0 ~client "enc://");
+      ignore (Mesh.grant m ~core:0 ~client "kv://")
+    | None ->
+      Sky_core.Subkernel.register_client_to_server sb client ~server_id:enc_sid;
+      Sky_core.Subkernel.register_client_to_server sb client ~server_id:kv_sid);
+    (match mesh with
+    | Some m ->
+      let module Mesh = Sky_mesh.Mesh in
+      finish client
+        (fun ~core msg -> Mesh.call_exn m ~core ~client "enc://" msg)
+        (fun ~core msg -> Mesh.call_exn m ~core ~client "kv://" msg)
+    | None ->
     if resilient then
       (* Bounded retry + exponential backoff around the recovery-aware
          call: crashed servers are restarted, revoked bindings degrade
@@ -196,7 +214,7 @@ let create ?sb ?ipc ?(resilient = false) kernel config =
             ~server_id:enc_sid msg)
         (fun ~core msg ->
           Sky_core.Subkernel.direct_server_call sb ~core ~client
-            ~server_id:kv_sid msg)
+            ~server_id:kv_sid msg))
 
 (* ---- client operations ---- *)
 

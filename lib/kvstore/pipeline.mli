@@ -18,6 +18,7 @@ type t
 val create :
   ?sb:Sky_core.Subkernel.t ->
   ?ipc:Sky_kernels.Ipc.t ->
+  ?mesh:Sky_mesh.Mesh.t ->
   ?resilient:bool ->
   Sky_ukernel.Kernel.t ->
   config ->
@@ -27,7 +28,12 @@ val create :
     {!Sky_kernels.Ipc.t} unless one is passed. With [resilient] (default
     false) the Skybridge client wraps every server call in
     {!Sky_core.Retry.call}: bounded retry with exponential backoff,
-    server restart on crash, slowpath degradation on revocation. *)
+    server restart on crash, slowpath degradation on revocation. With
+    [mesh] the Skybridge servers register as [enc://] and [kv://] with
+    the name service and the client calls by URI under
+    capability-granted bindings — the service-mesh wiring of the
+    composed scenarios (the default flat wiring is kept for the pinned
+    Figure 2/8 measurements). *)
 
 val retry_stats : t -> Sky_core.Retry.stats option
 (** The shared retry census when built with [~resilient:true]. *)

@@ -1,0 +1,80 @@
+open Sky_sim
+open Sky_ukernel
+module Notification = Sky_kernels.Notification
+
+let push_cycles = 120 (* enqueue + badge OR-in *)
+let pop_cycles = 90 (* dequeue from the own queue *)
+let steal_cycles = 60 (* extra: scan peers + cross-queue take *)
+
+type 'a t = {
+  kernel : Kernel.t;
+  note : Notification.t;
+  queues : 'a Queue.t array;
+  mutable rr : int;  (** deterministic round-robin push cursor *)
+  mutable pushed : int;
+  mutable popped : int;
+  mutable steals : int;
+}
+
+let create kernel ~name ~receivers =
+  if receivers < 1 then invalid_arg "Endpoint.create: no receivers";
+  {
+    kernel;
+    note = Notification.create kernel ~name;
+    queues = Array.init receivers (fun _ -> Queue.create ());
+    rr = 0;
+    pushed = 0;
+    popped = 0;
+    steals = 0;
+  }
+
+let receivers t = Array.length t.queues
+let note t = t.note
+let queue_level t ~recv = Queue.length t.queues.(recv)
+let pending t = Array.fold_left (fun a q -> a + Queue.length q) 0 t.queues
+let pushed t = t.pushed
+let popped t = t.popped
+let steals t = t.steals
+
+let push t ~core ?receiver item =
+  let recv =
+    match receiver with
+    | Some r -> r mod Array.length t.queues
+    | None ->
+      let r = t.rr in
+      t.rr <- (t.rr + 1) mod Array.length t.queues;
+      r
+  in
+  Queue.add item t.queues.(recv);
+  t.pushed <- t.pushed + 1;
+  Cpu.charge (Kernel.cpu t.kernel ~core) push_cycles;
+  Notification.signal t.note ~core ~badge:(1 lsl recv)
+
+(* Steal source: the longest peer queue, ties to the lowest index — a
+   pure function of queue contents, so the schedule stays deterministic. *)
+let steal_source t ~recv =
+  let best = ref (-1) and best_len = ref 0 in
+  Array.iteri
+    (fun i q ->
+      if i <> recv && Queue.length q > !best_len then begin
+        best := i;
+        best_len := Queue.length q
+      end)
+    t.queues;
+  if !best >= 0 then Some !best else None
+
+let pop t ~core ~recv =
+  match Queue.take_opt t.queues.(recv) with
+  | Some item ->
+    t.popped <- t.popped + 1;
+    Cpu.charge (Kernel.cpu t.kernel ~core) pop_cycles;
+    Some item
+  | None -> (
+    match steal_source t ~recv with
+    | None -> None
+    | Some src ->
+      let item = Queue.take t.queues.(src) in
+      t.popped <- t.popped + 1;
+      t.steals <- t.steals + 1;
+      Cpu.charge (Kernel.cpu t.kernel ~core) (pop_cycles + steal_cycles);
+      Some item)

@@ -1,0 +1,43 @@
+(** Multi-receiver endpoints: one service URI fanning out over N
+    receiver cores (hiillos's "multiple parallel receivers", the shape a
+    serving fleet needs), replacing RSS-as-routing with an explicit
+    queue + {!Sky_kernels.Notification} wake.
+
+    Each receiver owns a FIFO receive queue; {!push} places an item on
+    one queue (round-robin by default) and signals the endpoint's
+    notification with the receiver's badge bit. {!pop} serves the
+    receiver's own queue first and otherwise {e steals} from the longest
+    other queue (ties to the lowest index) — deterministic, so whole
+    runs stay bit-reproducible under {!Sky_sim.Machine.interleave}.
+
+    Conservation invariant (checked by test/test_mesh.ml): every pushed
+    item is popped exactly once, under any receiver interleaving. *)
+
+type 'a t
+
+val create : Sky_ukernel.Kernel.t -> name:string -> receivers:int -> 'a t
+val receivers : 'a t -> int
+
+val push : 'a t -> core:int -> ?receiver:int -> 'a -> unit
+(** Enqueue on [receiver]'s queue (default: round-robin cursor), charge
+    the enqueue cost on [core], and signal the wake notification with
+    badge bit [1 lsl receiver]. *)
+
+val pop : 'a t -> core:int -> recv:int -> 'a option
+(** Dequeue for receiver [recv]: own queue first, then steal from the
+    longest other queue. [None] when the whole endpoint is empty. *)
+
+val note : 'a t -> Sky_kernels.Notification.t
+(** The wake notification — what an idle receiver blocks on. *)
+
+val pending : 'a t -> int
+(** Items currently queued across all receivers. *)
+
+val queue_level : 'a t -> recv:int -> int
+val pushed : 'a t -> int
+val popped : 'a t -> int
+val steals : 'a t -> int
+
+val push_cycles : int
+val pop_cycles : int
+val steal_cycles : int

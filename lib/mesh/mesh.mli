@@ -1,0 +1,146 @@
+(** Capability-routed service mesh over SkyBridge (ROADMAP item 5).
+
+    Three pieces, layered on the PR 3 recovery machinery:
+
+    - a {b name service} — a real SkyBridge server process ["nameserv"]
+      mapping URI schemes ([kv://], [fs:///path], [blk://], [http://])
+      to Subkernel server ids, with resolve/register/unregister carried
+      over SkyBridge calls and a per-core resolution cache invalidated
+      (by epoch) on re-registration {e and} on every binding change;
+    - {b refcounted service capabilities} — a {!grant} derives child
+      capabilities (from the name service's per-sid roots) to a client
+      for the target and its whole dependency closure, then binds;
+      revocation tears bindings down permanently
+      ([revoke_binding ~orphan:false]) only once no live capability of
+      that client covers the server id, and {!revoke_service} destroys
+      the entire derivation subtree at once;
+    - a {b mesh audit} — {!audit} lowers the live binding set into
+      {!Sky_analysis.Mesh_check}: no binding outlives its capability,
+      no URI resolves to a dead server.
+
+    Fault site {!fault_site} (["server.nameserv"]): arm a [Crash] there
+    to kill the name service mid-resolve; {!resolve} rides
+    {!Sky_core.Retry.call}, so it restarts and retries transparently. *)
+
+type t
+
+type error =
+  [ `Unresolved of string  (** no registration for the URI's scheme *)
+  | `Denied of string  (** no live capability covers the target *)
+  | `Failed of Sky_core.Subkernel.call_error  (** retry budget exhausted *)
+  ]
+
+exception Unknown_service of string
+exception Denied of { uri : string; pid : int }
+
+val fault_site : string
+
+val create : ?seed:int -> Sky_core.Subkernel.t -> t
+(** Spawns and registers the ["nameserv"] server (one connection per
+    core) and the mesh's privileged ["meshd"] admin client, and
+    subscribes to {!Sky_core.Subkernel.on_binding_change} so crash /
+    revoke / rebind / restart all refresh the resolution caches. *)
+
+val connect : t -> Sky_ukernel.Proc.t -> unit
+(** Bind [client] to the name service (deriving it a resolve
+    capability). Idempotent; {!grant} calls it implicitly. *)
+
+val register : t -> core:int -> uri:string -> server_id:int -> unit
+(** Register (or re-register — the hot-upgrade primitive) the URI's
+    scheme to [server_id], over a SkyBridge call to the name service.
+    Re-registration bumps the epoch: every per-core cache entry for the
+    scheme goes stale at once. *)
+
+val unregister : t -> core:int -> uri:string -> unit
+
+val resolve : t -> core:int -> client:Sky_ukernel.Proc.t -> string -> int option
+(** Resolve a URI to a server id: per-core cache hit when the epoch
+    matches, otherwise a SkyBridge call to the name service (under
+    {!Sky_core.Retry.call} — a crashed name service restarts and the
+    resolve retries). [client] must be {!connect}ed. *)
+
+val server_of_uri : t -> string -> int option
+(** Authoritative table lookup, no wire call — supervisor-side only. *)
+
+type grant
+
+val grant :
+  t ->
+  core:int ->
+  ?rights:Sky_ukernel.Capability.rights ->
+  client:Sky_ukernel.Proc.t ->
+  string ->
+  grant
+(** [grant t ~core ~client uri] derives capabilities to [client] for the
+    resolved server {e and every server in its dependency closure}
+    (deps get send-only), then establishes the Subkernel binding.
+    @raise Unknown_service when the URI does not resolve. *)
+
+val grant_uri : grant -> string
+val grant_pid : grant -> int
+val grant_live : grant -> bool
+val grants : t -> grant list
+
+val revoke_grant : t -> core:int -> grant -> unit
+(** Delete the grant's capabilities, then tear down every binding of
+    that client no longer covered by {e any} live capability
+    (refcounting across overlapping grants) — permanently:
+    [revoke_binding ~orphan:false], so recovery never re-binds it. *)
+
+val revoke_service : t -> core:int -> string -> int
+(** Destroy the service's entire capability derivation tree (seL4
+    [revoke] on the root) and sweep every binding that lost coverage.
+    Returns the number of grants retired. *)
+
+val suspend_client : t -> core:int -> Sky_ukernel.Proc.t -> unit
+(** Crash bracket: revoke all of the client's bindings (orphaning them
+    for recovery), remembering the set for {!resume_client}. *)
+
+val resume_client : t -> Sky_ukernel.Proc.t -> unit
+(** Re-establish the suspended bindings — except any whose capability
+    was revoked while the client was down: those stay torn down
+    (degradation, not resurrection). *)
+
+val call :
+  t ->
+  core:int ->
+  client:Sky_ukernel.Proc.t ->
+  ?on_crash:(int -> unit) ->
+  string ->
+  bytes ->
+  (bytes, error) result
+(** The routed call: resolve the URI, check the client holds a live
+    send capability on the target (charging the check), then
+    {!Sky_core.Retry.call}. [`Denied] is the least-privilege outcome —
+    the client keeps running, the call never reaches the server. *)
+
+val call_exn :
+  t ->
+  core:int ->
+  client:Sky_ukernel.Proc.t ->
+  ?on_crash:(int -> unit) ->
+  string ->
+  bytes ->
+  bytes
+(** Like {!call} but raising {!Unknown_service} / {!Denied} /
+    {!Sky_core.Retry.Gave_up}. *)
+
+val audit : t -> Sky_analysis.Report.violation list
+(** The mesh invariants ([mesh.binding-outlives-cap],
+    [mesh.uri-dangling]) over the live Subkernel binding set, the
+    capability registry and the name table. [[]] means clean. *)
+
+val epoch : t -> int
+val resolves : t -> int
+(** Wire round trips to the name service (cache misses). *)
+
+val cache_hits : t -> int
+val denials : t -> int
+val registrations : t -> int
+val retry_stats : t -> Sky_core.Retry.stats
+val registry : t -> Sky_ukernel.Capability.registry
+val name_server_id : t -> int
+
+val cache_hit_cycles : int
+val cap_check_cycles : int
+val ns_lookup_cycles : int

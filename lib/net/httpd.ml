@@ -1,18 +1,25 @@
 (** skyhttpd: an N-worker HTTP-style server over the simulated NIC.
 
-    One worker process per simulated core (worker [i] is pinned to core
-    [i], serving NIC queue [i] — the RSS layout). Each worker runs an
-    event loop written against {!Sky_sim.Machine.interleave}: wake on the
-    queue's RX notification, drain the socket layer, parse each request
-    and serve it by calling the KV and FS {e backends} through whatever
-    transport the worker's bindings carry — mediated SkyBridge calls on
-    the fast path, each baseline kernel's synchronous IPC on the
-    slowpath variant.
+    Routing is a multi-receiver {!Sky_mesh.Endpoint}: RSS still spreads
+    packets across NIC rings, but a ring is just transport — the worker
+    that owns queue [i] (worker [i], pinned to core [i]) demultiplexes
+    its socket events and {e pushes} each request onto the shared
+    endpoint, and any worker may serve it (own receive queue first, then
+    work-stealing from the longest peer queue). Workers beyond the
+    number of NIC queues own no ring at all and live purely off the
+    endpoint — true fan-out of one server URI across more cores than RX
+    queues. Idle workers block on the endpoint's notification (or their
+    ring's RX IRQ) and are woken by badge signal.
+
+    Each request is served by calling the KV and FS {e backends} through
+    the worker's bindings — mediated SkyBridge calls on the fast path
+    (URI-addressed through the mesh in the composed scenarios), each
+    baseline kernel's synchronous IPC on the slowpath variant.
 
     Worker scheduling is wired through {!Sky_kernels.Scheduler} (Benno):
-    the per-core run queue holds the worker thread exactly while its
-    queue has work, so IRQ wakeups and idle blocking charge the real
-    O(1) queue operations.
+    the per-core run queue holds the worker thread exactly while it has
+    work, so IRQ wakeups and idle blocking charge the real O(1) queue
+    operations.
 
     Fault site ["server.httpd"]: a [Crash] kills the worker mid-request
     (the §7 story applied to the application tier). The in-flight
@@ -20,13 +27,19 @@
     supervisor restarts it after {!restart_cycles}, re-binding
     (PR 3 machinery) and replaying the parked request — no request is
     ever lost. [Hang] burns cycles past the watchdog budget, surfacing
-    as a tail-latency spike. *)
+    as a tail-latency spike.
+
+    A binding may raise {!Denied} (its capability was revoked — the
+    mesh's least-privilege path): the worker survives, counts the
+    denial, and hands the request to the next receiver on the endpoint,
+    so the request is still served by a worker that kept the privilege. *)
 
 open Sky_sim
 open Sky_ukernel
 module Fault = Sky_faults.Fault
 module Scheduler = Sky_kernels.Scheduler
 module Notification = Sky_kernels.Notification
+module Endpoint = Sky_mesh.Endpoint
 
 let worker_text = 6 * 1024 (* request-handling instruction working set *)
 let parse_base = 300
@@ -37,10 +50,17 @@ let cache_hit_base = 250 (* static-file cache: hash lookup + header copy *)
 let hang_cycles = 60_000
 let restart_cycles = 25_000 (* exec + dynamic linking of a fresh worker *)
 
+let denial_backoff_cycles = 4_000
+(* After a capability denial the worker stays off the endpoint for this
+   long: without it, the revoked worker re-steals the request it just
+   bounced faster than the privileged peer can wake, and a single fs://
+   request ping-pongs dozens of times before being served. *)
+
 (* Typed backend bindings, one set per worker. The closures capture the
-   worker's process and transport (SkyBridge direct calls or baseline
-   kernel IPC); [revoke]/[rebind] tear down and re-establish the
-   worker's server bindings around a crash. *)
+   worker's process and transport (SkyBridge direct calls — possibly
+   URI-routed through the mesh — or baseline kernel IPC);
+   [revoke]/[rebind] tear down and re-establish the worker's server
+   bindings around a crash. *)
 type binding = {
   kv_put : core:int -> key:string -> value:bytes -> bool;
   kv_get : core:int -> key:string -> bytes option;
@@ -70,6 +90,9 @@ type worker = {
   mutable w_served : int;
   mutable w_restarts : int;
   mutable w_hangs : int;
+  mutable w_denied : int;  (** requests bounced to a peer on Denied *)
+  mutable w_backoff : int;
+      (** no endpoint pops before this cycle (set on a denial) *)
   mutable w_fs_cold : int;  (** cache misses served through the FS *)
 }
 
@@ -78,6 +101,9 @@ type t = {
   nic : Nic.t;
   socks : Socket.t;
   workers : worker array;
+  ep : (Socket.conn * bytes) Endpoint.t;
+      (** the routing mechanism: every parsed request goes through here *)
+  file_cache : bool;
   queue_done : queue:int -> bool;
   mutable served : int;
   mutable bad_requests : int;
@@ -86,14 +112,18 @@ type t = {
 let fault_site = "server.httpd"
 
 exception Worker_crashed
+exception Denied
 
-let create ?(preload = []) kernel nic ~workers:procs ~queue_done =
+let create ?(preload = []) ?(file_cache = true) kernel nic ~workers:procs
+    ~queue_done =
   let n = Array.length procs in
   if n = 0 then invalid_arg "Httpd.create: no workers";
-  if n > Nic.n_queues nic then invalid_arg "Httpd.create: more workers than queues";
+  if Nic.n_queues nic > n then
+    invalid_arg "Httpd.create: fewer workers than queues";
   if n > Machine.n_cores kernel.Kernel.machine then
     invalid_arg "Httpd.create: more workers than cores";
   let socks = Socket.create kernel nic in
+  let ep = Endpoint.create kernel ~name:"httpd-endpoint" ~receivers:n in
   let workers =
     Array.init n (fun i ->
         let proc, binding = procs.(i) in
@@ -103,7 +133,7 @@ let create ?(preload = []) kernel nic ~workers:procs ~queue_done =
         in
         let sched = Scheduler.create Scheduler.Benno in
         let thread = Scheduler.spawn_thread sched ~tid:i in
-        Nic.pin nic ~queue:i ~core:i;
+        if i < Nic.n_queues nic then Nic.pin nic ~queue:i ~core:i;
         {
           w_core = i;
           w_proc = proc;
@@ -117,10 +147,24 @@ let create ?(preload = []) kernel nic ~workers:procs ~queue_done =
           w_served = 0;
           w_restarts = 0;
           w_hangs = 0;
+          w_denied = 0;
+          w_backoff = 0;
           w_fs_cold = 0;
         })
   in
-  let t = { kernel; nic; socks; workers; queue_done; served = 0; bad_requests = 0 } in
+  let t =
+    {
+      kernel;
+      nic;
+      socks;
+      workers;
+      ep;
+      file_cache;
+      queue_done;
+      served = 0;
+      bad_requests = 0;
+    }
+  in
   (* Boot: each worker preloads the static assets named in [preload]
      through its backend binding (the whole worker fleet reading through
      the big-locked FS is exactly the convoy the cache exists to avoid —
@@ -130,17 +174,23 @@ let create ?(preload = []) kernel nic ~workers:procs ~queue_done =
     (fun w ->
       let cpu = Kernel.cpu kernel ~core:w.w_core in
       Kernel.context_switch kernel ~core:w.w_core w.w_proc;
-      List.iter
-        (fun name ->
-          match w.w_binding.fs_read ~core:w.w_core ~name with
-          | Some data ->
-            w.w_fs_cold <- w.w_fs_cold + 1;
-            Hashtbl.replace w.w_cache name data
-          | None -> ())
-        preload;
+      if file_cache then
+        List.iter
+          (fun name ->
+            match w.w_binding.fs_read ~core:w.w_core ~name with
+            | Some data ->
+              w.w_fs_cold <- w.w_fs_cold + 1;
+              Hashtbl.replace w.w_cache name data
+            | None -> ())
+          preload;
       Scheduler.block w.w_sched cpu w.w_thread;
-      ignore
-        (Notification.wait_blocking ~polls:0 (Nic.irq nic ~queue:w.w_core) ~core:w.w_core))
+      if w.w_core < Nic.n_queues nic then
+        ignore
+          (Notification.wait_blocking ~polls:0
+             (Nic.irq nic ~queue:w.w_core)
+             ~core:w.w_core)
+      else
+        ignore (Notification.wait_blocking ~polls:0 (Endpoint.note ep) ~core:w.w_core))
     workers;
   t
 
@@ -148,8 +198,11 @@ let served t = t.served
 let bad_requests t = t.bad_requests
 let restarts t = Array.fold_left (fun a w -> a + w.w_restarts) 0 t.workers
 let hangs t = Array.fold_left (fun a w -> a + w.w_hangs) 0 t.workers
+let denials t = Array.fold_left (fun a w -> a + w.w_denied) 0 t.workers
 let fs_cold t = Array.fold_left (fun a w -> a + w.w_fs_cold) 0 t.workers
 let worker_served t i = t.workers.(i).w_served
+let steals t = Endpoint.steals t.ep
+let endpoint t = t.ep
 
 (* ---- request handling ---- *)
 
@@ -172,7 +225,7 @@ let dispatch t w req =
     | Some v -> Http.ok v
     | None -> Http.not_found)
   | Http.Fs_get name -> (
-    match Hashtbl.find_opt w.w_cache name with
+    match if t.file_cache then Hashtbl.find_opt w.w_cache name else None with
     | Some data ->
       Kernel.user_compute t.kernel ~core
         ~cycles:(cache_hit_base + (Bytes.length data / 16));
@@ -181,7 +234,7 @@ let dispatch t w req =
       match w.w_binding.fs_read ~core ~name with
       | Some data ->
         w.w_fs_cold <- w.w_fs_cold + 1;
-        Hashtbl.replace w.w_cache name data;
+        if t.file_cache then Hashtbl.replace w.w_cache name data;
         Http.ok data
       | None -> Http.not_found))
 
@@ -232,6 +285,61 @@ let restart t w =
   w.w_restarts <- w.w_restarts + 1;
   Scheduler.wake w.w_sched cpu w.w_thread
 
+(* The run is finished only globally: every NIC queue exhausted, the
+   endpoint drained, nobody mid-restart with a parked request. Until
+   then an idle worker must keep stepping — stolen work can appear on
+   the endpoint at any time. *)
+let finished t =
+  let nq = Nic.n_queues t.nic in
+  let rec queues_done q = q >= nq || (t.queue_done ~queue:q && queues_done (q + 1)) in
+  queues_done 0
+  && Endpoint.pending t.ep = 0
+  && Array.for_all
+       (fun w ->
+         (match w.w_state with Running -> true | Dead _ -> false)
+         && w.w_inflight = None)
+       t.workers
+
+(* Serve one request popped from the endpoint (or replayed). [Denied]
+   means this worker's capability on a backend was revoked mid-run: the
+   request is handed to the next receiver, never dropped. *)
+(* Earliest packet timestamp still sitting in any RX ring. A blocked
+   worker reports it as its next-event time: with cross-core serving, a
+   fast peer's replies can strand a ring owner's clock far above the
+   laggard pack, and plain [Idle] only leapfrogs idle cores one cycle
+   at a time — the run loop's idle guard trips long before the pack
+   creeps up to the owner. *)
+let next_wire_event t =
+  let best = ref None in
+  for q = 0 to Nic.n_queues t.nic - 1 do
+    match Nic.next_deliver_at t.nic ~queue:q with
+    | Some at -> (
+      match !best with Some b when b <= at -> () | _ -> best := Some at)
+    | None -> ()
+  done;
+  !best
+
+(* Hop a blocked worker takes past a wire event that is already due on
+   some other core's clock: striding forward lets the laggard pack
+   overtake the stranded ring owner so the scheduler steps it again. *)
+let idle_stride_cycles = 512
+
+let serve t w conn payload =
+  match handle t w conn payload with
+  | () -> Machine.Progress
+  | exception Worker_crashed ->
+    crash t w ~inflight:(Some (conn, payload));
+    Machine.Progress
+  | exception Denied ->
+    w.w_denied <- w.w_denied + 1;
+    Sky_trace.Trace.instant ~core:w.w_core ~cat:"web" "web.denied-bounce";
+    Endpoint.push t.ep ~core:w.w_core
+      ~receiver:((w.w_core + 1) mod Array.length t.workers)
+      (conn, payload);
+    w.w_backoff <-
+      Cpu.cycles (Kernel.cpu t.kernel ~core:w.w_core) + denial_backoff_cycles;
+    Machine.Progress
+
 (* ---- the per-core event loop, one quantum per call ---- *)
 
 let step t ~core =
@@ -245,42 +353,68 @@ let step t ~core =
     end
     else Machine.Idle_until at
   | Running -> (
-    (* Replay a request parked by a crash before touching the ring. *)
+    (* Replay a request parked by a crash before touching any queue. *)
     match w.w_inflight with
-    | Some (conn, payload) -> (
+    | Some (conn, payload) ->
       w.w_inflight <- None;
-      match handle t w conn payload with
-      | () -> Machine.Progress
-      | exception Worker_crashed ->
-        crash t w ~inflight:(Some (conn, payload));
-        Machine.Progress)
+      serve t w conn payload
     | None ->
+      let has_queue = core < Nic.n_queues t.nic in
       if not (Scheduler.runnable w.w_thread) then begin
-        (* Blocked in recv: consume the RX notification if one is
-           pending (advancing to its delivery time), else stay blocked. *)
-        match Notification.wait_blocking (Nic.irq t.nic ~queue:core) ~core with
-        | Some _badge -> (
+        (* Blocked in recv: wake on a pending RX IRQ (advancing to its
+           delivery time) or on endpoint work pushed by a peer. Signals
+           coalesce, so a peer may have consumed the wake word for an
+           item that landed in our queue — the pending check catches
+           that without a notification. *)
+        let irq_wake =
+          has_queue
+          && (Notification.wait_blocking (Nic.irq t.nic ~queue:core) ~core
+              <> None
+             || (* Level check: with cross-core serving a peer's reply can
+                   land in our ring while the edge word is already consumed;
+                   only the owner can drain it, so wake on occupancy too. *)
+             Nic.rx_level t.nic ~queue:core > 0)
+        in
+        let ep_wake =
+          (not irq_wake)
+          && (Notification.wait_blocking ~polls:0 (Endpoint.note t.ep) ~core
+              <> None
+             || Endpoint.pending t.ep > 0)
+        in
+        if irq_wake || ep_wake then begin
           Scheduler.wake w.w_sched cpu w.w_thread;
-          match Scheduler.pick w.w_sched cpu with
-          | Some _ -> Machine.Progress
-          | None -> Machine.Progress)
-        | None ->
-          if t.queue_done ~queue:core then Machine.Done
-          else Machine.Idle
+          Machine.Progress
+        end
+        else if finished t then Machine.Done
+        else (
+          match next_wire_event t with
+          | Some at ->
+            let now = Cpu.cycles cpu in
+            Machine.Idle_until (if at > now then at else now + idle_stride_cycles)
+          | None -> Machine.Idle)
       end
       else begin
-        match Socket.service t.socks ~queue:core ~core with
+        (* Route first, serve second: RSS only places packets in rings;
+           the endpoint decides which worker serves. *)
+        match
+          if has_queue then Socket.service t.socks ~queue:core ~core else None
+        with
         | Some (Socket.Accepted _) -> Machine.Progress
-        | Some (Socket.Request (conn, payload)) -> (
-          match handle t w conn payload with
-          | () -> Machine.Progress
-          | exception Worker_crashed ->
-            crash t w ~inflight:(Some (conn, payload));
-            Machine.Progress)
-        | None ->
-          (* Ring drained: back to recv. *)
-          Scheduler.block w.w_sched cpu w.w_thread;
+        | Some (Socket.Request (conn, payload)) ->
+          Endpoint.push t.ep ~core (conn, payload);
           Machine.Progress
+        | None -> (
+          if Cpu.cycles cpu < w.w_backoff then
+            (* Just bounced a denied request: stay off the endpoint so
+               the privileged peer drains it instead of us re-stealing. *)
+            Machine.Idle_until w.w_backoff
+          else
+            match Endpoint.pop t.ep ~core ~recv:core with
+            | Some (conn, payload) -> serve t w conn payload
+            | None ->
+              (* Ring and endpoint drained: back to recv. *)
+              Scheduler.block w.w_sched cpu w.w_thread;
+              Machine.Progress)
       end)
 
 let run t =

@@ -1,12 +1,21 @@
-(** skyhttpd: N worker processes (worker [i] pinned to core [i], serving
-    NIC queue [i]) parsing HTTP-style requests and serving them through
-    per-worker backend {!binding}s — mediated SkyBridge calls on the fast
-    path, baseline kernel IPC on the slowpath variant.
+(** skyhttpd: N worker processes (worker [i] pinned to core [i]; workers
+    [0..queues-1] each own a NIC ring) parsing HTTP-style requests and
+    serving them through per-worker backend {!binding}s — mediated
+    SkyBridge calls on the fast path, baseline kernel IPC on the
+    slowpath variant.
+
+    Requests are routed through a multi-receiver {!Sky_mesh.Endpoint},
+    not by RSS: ring owners push demultiplexed requests onto the
+    endpoint, any worker pops (own queue first, then work-stealing), and
+    workers beyond the ring count live purely off the endpoint — one
+    server URI fanning out across more cores than RX queues.
 
     Fault site ["server.httpd"]: [Crash] kills a worker mid-request; the
     in-flight request is parked, bindings are revoked, and the worker is
     restarted and re-bound (PR 3 machinery) with the request replayed —
-    zero lost requests. [Hang] shows up as a tail-latency spike. *)
+    zero lost requests. [Hang] shows up as a tail-latency spike. A
+    binding that raises {!Denied} (capability revoked — least privilege)
+    bounces the request to the next receiver instead of serving it. *)
 
 type binding = {
   kv_put : core:int -> key:string -> value:bytes -> bool;
@@ -24,34 +33,53 @@ val fault_site : string
 (** ["server.httpd"] — arm {!Sky_faults.Fault} here to crash/hang
     workers mid-request. *)
 
+exception Denied
+(** Raised by a binding whose capability was revoked: the worker
+    survives, counts the denial, and bounces the request to a peer. *)
+
 val restart_cycles : int
 
 val create :
   ?preload:string list ->
+  ?file_cache:bool ->
   Sky_ukernel.Kernel.t ->
   Nic.t ->
   workers:(Sky_ukernel.Proc.t * binding) array ->
   queue_done:(queue:int -> bool) ->
   t
 (** One worker per (process, binding) pair; worker [i] is pinned to core
-    [i] and parked blocked in recv on queue [i]'s IRQ. The caller spawns
-    the processes (they must already be registered as clients with
-    whatever transport the bindings use). [preload] names static files
-    each worker reads into its cache at boot, through its binding — the
+    [i]. There must be at least as many workers as NIC queues; workers
+    [0..queues-1] own a ring each and park blocked in recv on its IRQ,
+    the rest park on the endpoint notification. The caller spawns the
+    processes (they must already be registered as clients with whatever
+    transport the bindings use). [preload] names static files each
+    worker reads into its cache at boot, through its binding — the
     startup cost of not convoying every request on the FS big lock.
-    [queue_done] is the load generator's per-queue exit test. *)
+    [file_cache] (default true) enables the per-worker static-file
+    cache; the composed mesh scenario disables it so every [Fs_get]
+    exercises the capability-checked backend path. [queue_done] is the
+    load generator's per-queue exit test. *)
 
 val step : t -> core:int -> Sky_sim.Machine.step
 (** One event-loop quantum of [core]'s worker, for
     {!Sky_sim.Machine.interleave}. *)
 
 val run : t -> unit
-(** Interleave all workers by virtual time until every queue is done. *)
+(** Interleave all workers by virtual time until every queue is done and
+    the endpoint is drained. *)
 
 val served : t -> int
 val bad_requests : t -> int
 val restarts : t -> int
 val hangs : t -> int
+
+val denials : t -> int
+(** Requests bounced to a peer because a binding raised {!Denied}. *)
+
+val steals : t -> int
+(** Endpoint pops satisfied from a peer's receive queue. *)
+
+val endpoint : t -> (Socket.conn * bytes) Sky_mesh.Endpoint.t
 
 val fs_cold : t -> int
 (** Static-file cache misses served through the (big-locked) xv6fs

@@ -21,6 +21,7 @@ module Kv_server = Sky_kvstore.Kv_server
 module Subkernel = Sky_core.Subkernel
 module Retry = Sky_core.Retry
 module Ipc = Sky_kernels.Ipc
+module Mesh = Sky_mesh.Mesh
 
 type transport = Ipc_slowpath | Skybridge
 
@@ -44,6 +45,7 @@ type t = {
   httpd : Httpd.t;
   lg : Loadgen.t;
   sb : Subkernel.t option;
+  mesh : Mesh.t option;
   rstats : Retry.stats option;
   fs_cell : Fs.t ref;
   kv : Kv_server.t;
@@ -84,6 +86,16 @@ let kv_handler kv kernel ~text_pa : Ipc.handler =
     match Kv_server.query kv cpu ~key with Some v -> v | None -> Bytes.empty)
   | c -> invalid_arg (Printf.sprintf "web kv_handler: opcode %c" c)
 
+(* Allocate the KV server's instruction working set and close the wire
+   handler over it — shared with the composed mesh scenario, which runs
+   two KV server generations over the same store. *)
+let kv_backend kernel kv =
+  let text_pa =
+    Sky_mem.Frame_alloc.alloc_frames (Kernel.alloc kernel)
+      ~count:((backend_text + 4095) / 4096)
+  in
+  kv_handler kv kernel ~text_pa
+
 (* ---- typed worker bindings over either transport ---- *)
 
 let fs_read_of iface ~core ~name =
@@ -93,7 +105,8 @@ let fs_read_of iface ~core ~name =
     let len = iface.Fs_iface.size ~core inum in
     Some (iface.Fs_iface.read ~core ~inum ~off:0 ~len)
 
-let binding_of_calls ~call_kv ~iface ~revoke ~rebind =
+let binding_of_calls ~call_kv ~call_fs ~revoke ~rebind =
+  let iface = Fs_iface.over_call call_fs in
   {
     Httpd.kv_put =
       (fun ~core ~key ~value ->
@@ -133,11 +146,7 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
   let kernel = Kernel.create ~config:(Config.default variant) machine in
   (* Backends: KV store + xv6fs over a RAM disk. *)
   let kv = Kv_server.create machine in
-  let kv_text_pa =
-    Sky_mem.Frame_alloc.alloc_frames (Kernel.alloc kernel)
-      ~count:((backend_text + 4095) / 4096)
-  in
-  let kv_h = kv_handler kv kernel ~text_pa:kv_text_pa in
+  let kv_h = kv_backend kernel kv in
   let ramdisk = Ramdisk.create machine ~nblocks:disk_blocks in
   let raw = Disk.direct kernel ramdisk in
   Fs.mkfs kernel raw ~core:0 ~size:disk_blocks ~ninodes:64 ();
@@ -145,15 +154,20 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
   let fs_proc = Kernel.spawn kernel ~name:"xv6fs" in
   let disk_proc = Kernel.spawn kernel ~name:"blockdev" in
   let worker_procs = Array.init workers (fun _ -> Kernel.spawn kernel ~name:"httpd") in
-  let sb, rstats, fs_cell, bind =
+  let sb, mesh, rstats, fs_cell, bind =
     match transport with
     | Skybridge ->
       let sb = Subkernel.init ~seed kernel in
+      (* URI addressing through the mesh: servers register under their
+         scheme, workers are granted capabilities and call by URI — no
+         flat sid plumbing reaches the worker bindings. *)
+      let mesh = Mesh.create ~seed sb in
       let disk_sid =
         Subkernel.register_server sb disk_proc ~connection_count:cores
           (Disk.handler kernel ramdisk)
       in
-      Subkernel.register_client_to_server sb fs_proc ~server_id:disk_sid;
+      Mesh.register mesh ~core:0 ~uri:"blk://" ~server_id:disk_sid;
+      ignore (Mesh.grant mesh ~core:0 ~client:fs_proc "blk://");
       let sdisk = Disk.over_skybridge sb ~client:fs_proc ~server_id:disk_sid in
       let fs_cell = ref (Fs.mount kernel sdisk ~core:0) in
       (* Handler indirection so a crash-recovery remount swaps the Fs.t
@@ -165,7 +179,9 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
           ~deps:[ disk_sid ] fs_handler
       in
       let kv_sid = Subkernel.register_server sb kv_proc ~connection_count:cores kv_h in
-      let rstats = Retry.create_stats () in
+      Mesh.register mesh ~core:0 ~uri:"fs://" ~server_id:fs_sid;
+      Mesh.register mesh ~core:0 ~uri:"kv://" ~server_id:kv_sid;
+      let rstats = Mesh.retry_stats mesh in
       let remount () =
         let rec go n =
           try fs_cell := Fs.mount kernel sdisk ~core:0 with
@@ -176,30 +192,21 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
         go 3
       in
       let bind w_proc =
-        Subkernel.register_client_to_server sb w_proc ~server_id:fs_sid;
-        Subkernel.register_client_to_server sb w_proc ~server_id:kv_sid;
-        let call_kv ~core msg =
-          Retry.call ~stats:rstats sb ~core ~client:w_proc ~server_id:kv_sid msg
-        in
+        ignore (Mesh.grant mesh ~core:0 ~client:w_proc "kv://");
+        ignore (Mesh.grant mesh ~core:0 ~client:w_proc "fs://");
+        let call_kv ~core msg = Mesh.call_exn mesh ~core ~client:w_proc "kv://" msg in
         let call_fs ~core msg =
-          Retry.call ~stats:rstats
+          Mesh.call_exn mesh ~core ~client:w_proc
             ~on_crash:(fun _ -> remount ())
-            sb ~core ~client:w_proc ~server_id:fs_sid msg
+            "fs://" msg
         in
-        let iface = Fs_iface.over_call call_fs in
-        let sids = [ fs_sid; kv_sid ] in
-        binding_of_calls ~call_kv ~iface
-          ~revoke:(fun ~core ->
-            List.iter
-              (fun server_id ->
-                Subkernel.revoke_binding sb ~core w_proc ~server_id
-                  ~reason:"httpd worker crash")
-              sids)
+        binding_of_calls ~call_kv ~call_fs
+          ~revoke:(fun ~core -> Mesh.suspend_client mesh ~core w_proc)
           ~rebind:(fun ~core ->
             ignore core;
-            List.iter (fun server_id -> Subkernel.rebind sb w_proc ~server_id) sids)
+            Mesh.resume_client mesh w_proc)
       in
-      (Some sb, Some rstats, fs_cell, bind)
+      (Some sb, Some mesh, Some rstats, fs_cell, bind)
     | Ipc_slowpath ->
       let ipc = Ipc.create kernel in
       let disk_ep =
@@ -211,12 +218,11 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
       let bind w_proc =
         let call_kv ~core msg = Ipc.call ipc ~core ~client:w_proc kv_ep msg in
         let call_fs ~core msg = Ipc.call ipc ~core ~client:w_proc fs_ep msg in
-        let iface = Fs_iface.over_call call_fs in
-        binding_of_calls ~call_kv ~iface
+        binding_of_calls ~call_kv ~call_fs
           ~revoke:(fun ~core -> ignore core)
           ~rebind:(fun ~core -> ignore core)
       in
-      (None, None, ref fs, bind)
+      (None, None, None, ref fs, bind)
   in
   let files = provision_files !fs_cell ~seed in
   let nic = Nic.create kernel ~queues:workers in
@@ -236,6 +242,7 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
     httpd;
     lg;
     sb;
+    mesh;
     rstats;
     fs_cell;
     kv;
@@ -263,5 +270,6 @@ let httpd t = t.httpd
 let nic t = t.nic
 let kernel t = t.kernel
 let subkernel t = t.sb
+let mesh t = t.mesh
 let retry_stats t = t.rstats
 let fs t = !(t.fs_cell)

@@ -13,6 +13,30 @@ val default_conns : int
 val default_requests_per_conn : int
 val rtt : int
 
+(** {2 Stack pieces} — shared with the composed service-mesh scenario
+    ({!Sky_experiments.Exp_mesh} wires the same backends under a
+    different worker/queue topology). *)
+
+val kv_backend :
+  Sky_ukernel.Kernel.t -> Sky_kvstore.Kv_server.t -> Sky_kernels.Ipc.handler
+(** The KV store's 'I'/'Q' wire handler, closed over a freshly allocated
+    instruction working set (so each server generation pollutes the
+    caches like a real process would). *)
+
+val binding_of_calls :
+  call_kv:(core:int -> bytes -> bytes) ->
+  call_fs:(core:int -> bytes -> bytes) ->
+  revoke:(core:int -> unit) ->
+  rebind:(core:int -> unit) ->
+  Httpd.binding
+(** Lift raw wire calls into a worker's typed {!Httpd.binding} (the FS
+    side goes through {!Sky_xv6fs.Fs_iface.over_call}). *)
+
+val provision_files : Sky_xv6fs.Fs.t -> seed:int -> (string * bytes) array
+(** Create the static files the load mix reads (deterministic printable
+    contents) through the server-side FS handle; returns name/content
+    pairs for the load generator's response validation. *)
+
 val build :
   ?variant:Sky_ukernel.Config.variant ->
   ?seed:int ->
@@ -45,6 +69,11 @@ val httpd : t -> Httpd.t
 val nic : t -> Nic.t
 val kernel : t -> Sky_ukernel.Kernel.t
 val subkernel : t -> Sky_core.Subkernel.t option
+
+val mesh : t -> Sky_mesh.Mesh.t option
+(** The service mesh routing worker→backend calls on the SkyBridge
+    path ([kv://], [fs://], [blk://] plus the name service itself). *)
+
 val retry_stats : t -> Sky_core.Retry.stats option
 
 val fs : t -> Sky_xv6fs.Fs.t

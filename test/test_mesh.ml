@@ -1,0 +1,373 @@
+(* Tests for the lib/mesh subsystem: the URI name service (per-core
+   caches, epoch invalidation, re-registration freshness), refcounted
+   capability grants over dependency closures, suspend/resume with
+   revocation in between, crash recovery through the mesh, and the
+   multi-receiver endpoint's conservation invariant. *)
+
+open Sky_sim
+open Sky_ukernel
+module Subkernel = Sky_core.Subkernel
+module Retry = Sky_core.Retry
+module Mesh = Sky_mesh.Mesh
+module Endpoint = Sky_mesh.Endpoint
+module Fault = Sky_faults.Fault
+
+let with_faults f = Fun.protect ~finally:Fault.disable f
+let echo tag ~core:_ msg = Bytes.cat (Bytes.of_string tag) msg
+
+(* One dep server ("store") and two services over it: [svc://] depends
+   on the store, [raw://] is the store itself — the overlapping-closure
+   shape the refcounting must get right. *)
+type fixture = {
+  sb : Subkernel.t;
+  mesh : Mesh.t;
+  client : Proc.t;
+  store_sid : int;
+  svc_sid : int;
+}
+
+let make ?(cores = 4) ?(seed = 1) () =
+  let machine = Machine.create ~cores ~mem_mib:64 () in
+  let kernel = Kernel.create machine in
+  let sb = Subkernel.init ~seed kernel in
+  let mesh = Mesh.create ~seed sb in
+  let store_proc = Kernel.spawn kernel ~name:"store" in
+  let svc_proc = Kernel.spawn kernel ~name:"meshsvc" in
+  let client = Kernel.spawn kernel ~name:"client" in
+  let store_sid =
+    Subkernel.register_server sb store_proc ~connection_count:cores
+      (echo "store:")
+  in
+  let svc_sid =
+    Subkernel.register_server sb svc_proc ~connection_count:cores
+      ~deps:[ store_sid ] (echo "svc:")
+  in
+  Mesh.register mesh ~core:0 ~uri:"raw://" ~server_id:store_sid;
+  Mesh.register mesh ~core:0 ~uri:"svc://" ~server_id:svc_sid;
+  Mesh.connect mesh client;
+  { sb; mesh; client; store_sid; svc_sid }
+
+let call_ok f uri =
+  match
+    Mesh.call f.mesh ~core:0 ~client:f.client uri (Bytes.of_string "ping")
+  with
+  | Ok reply -> Bytes.to_string reply
+  | Error (`Unresolved u) -> Alcotest.failf "unresolved %s" u
+  | Error (`Denied u) -> Alcotest.failf "denied %s" u
+  | Error (`Failed _) -> Alcotest.fail "retry budget exhausted"
+
+let check_audit f name =
+  Alcotest.(check int) (name ^ ": mesh audit clean") 0
+    (List.length (Mesh.audit f.mesh));
+  Alcotest.(check int) (name ^ ": subkernel audit clean") 0
+    (List.length (Subkernel.audit f.sb))
+
+let has_binding f ~sid =
+  List.mem (f.client.Proc.pid, sid) (Subkernel.bindings f.sb)
+
+(* ------------------------------------------------------------------ *)
+(* name service                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_resolve_and_call () =
+  let f = make () in
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+  Alcotest.(check string) "routed call reaches the handler" "svc:ping"
+    (call_ok f "svc://");
+  let misses = Mesh.resolves f.mesh in
+  ignore (call_ok f "svc://");
+  ignore (call_ok f "svc://");
+  Alcotest.(check int) "repeat resolutions hit the per-core cache" misses
+    (Mesh.resolves f.mesh);
+  Alcotest.(check bool) "cache hits counted" true (Mesh.cache_hits f.mesh > 0);
+  check_audit f "resolve"
+
+let test_unresolved () =
+  let f = make () in
+  Mesh.connect f.mesh f.client;
+  (match
+     Mesh.call f.mesh ~core:0 ~client:f.client "nope://" (Bytes.of_string "x")
+   with
+  | Error (`Unresolved "nope://") -> ()
+  | _ -> Alcotest.fail "expected `Unresolved");
+  Alcotest.check_raises "grant raises Unknown_service"
+    (Mesh.Unknown_service "nope://") (fun () ->
+      ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "nope://"))
+
+let test_reregister_freshness_on_every_core () =
+  let f = make ~cores:4 () in
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+  (* Warm all four per-core caches against the v1 registration. *)
+  for core = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "core %d resolves v1" core)
+      (Some f.svc_sid)
+      (Mesh.resolve f.mesh ~core ~client:f.client "svc://")
+  done;
+  let epoch_before = Mesh.epoch f.mesh in
+  (* Hot re-registration: svc:// now names the store server. *)
+  Mesh.register f.mesh ~core:0 ~uri:"svc://" ~server_id:f.store_sid;
+  Alcotest.(check bool) "re-registration bumps the epoch" true
+    (Mesh.epoch f.mesh > epoch_before);
+  for core = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "core %d sees v2, not its stale cache" core)
+      (Some f.store_sid)
+      (Mesh.resolve f.mesh ~core ~client:f.client "svc://")
+  done;
+  Mesh.unregister f.mesh ~core:0 ~uri:"svc://";
+  Alcotest.(check (option int)) "unregistered scheme stops resolving" None
+    (Mesh.resolve f.mesh ~core:0 ~client:f.client "svc://")
+
+(* ------------------------------------------------------------------ *)
+(* grants, closures, refcounts                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_grant_covers_closure () =
+  let f = make () in
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+  Alcotest.(check bool) "binding on the service" true
+    (has_binding f ~sid:f.svc_sid);
+  Alcotest.(check string) "call flows" "svc:ping" (call_ok f "svc://");
+  check_audit f "closure"
+
+let test_overlapping_closures_refcount () =
+  let f = make () in
+  let g_svc = Mesh.grant f.mesh ~core:0 ~client:f.client "svc://" in
+  let g_raw = Mesh.grant f.mesh ~core:0 ~client:f.client "raw://" in
+  (* The store sid is covered twice: via svc://'s dep closure and via
+     raw:// directly. Revoking the svc grant must keep it alive. *)
+  Mesh.revoke_grant f.mesh ~core:0 g_svc;
+  Alcotest.(check bool) "svc grant dead" false (Mesh.grant_live g_svc);
+  Alcotest.(check string) "shared dep still reachable via raw://" "store:ping"
+    (call_ok f "raw://");
+  (match
+     Mesh.call f.mesh ~core:0 ~client:f.client "svc://" (Bytes.of_string "x")
+   with
+  | Error (`Denied "svc://") -> ()
+  | _ -> Alcotest.fail "revoked svc:// should be denied");
+  check_audit f "after first revoke";
+  Mesh.revoke_grant f.mesh ~core:0 g_raw;
+  Alcotest.(check bool) "store binding gone once refcount hits zero" false
+    (has_binding f ~sid:f.store_sid);
+  (match
+     Mesh.call f.mesh ~core:0 ~client:f.client "raw://" (Bytes.of_string "x")
+   with
+  | Error (`Denied _) -> ()
+  | _ -> Alcotest.fail "expected `Denied after last revoke");
+  Alcotest.(check bool) "denials counted" true (Mesh.denials f.mesh >= 2);
+  check_audit f "after last revoke"
+
+let test_revoke_service_retires_subtree () =
+  let f = make () in
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+  let retired = Mesh.revoke_service f.mesh ~core:0 "svc://" in
+  Alcotest.(check int) "both grants retired at once" 2 retired;
+  (match
+     Mesh.call f.mesh ~core:0 ~client:f.client "svc://" (Bytes.of_string "x")
+   with
+  | Error (`Denied _) -> ()
+  | _ -> Alcotest.fail "expected `Denied after revoke_service");
+  check_audit f "revoke_service"
+
+(* ------------------------------------------------------------------ *)
+(* suspend / resume, crash recovery                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_suspend_revoke_resume_degrades () =
+  let f = make () in
+  let g_svc = Mesh.grant f.mesh ~core:0 ~client:f.client "svc://" in
+  ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "raw://");
+  Mesh.suspend_client f.mesh ~core:0 f.client;
+  (* The capability dies while the client is down: resume must NOT
+     resurrect the binding — degradation, not resurrection. *)
+  Mesh.revoke_grant f.mesh ~core:0 g_svc;
+  Mesh.resume_client f.mesh f.client;
+  (match
+     Mesh.call f.mesh ~core:0 ~client:f.client "svc://" (Bytes.of_string "x")
+   with
+  | Error (`Denied "svc://") -> ()
+  | _ -> Alcotest.fail "revoked-while-down grant must stay down");
+  Alcotest.(check string) "surviving grant resumed intact" "store:ping"
+    (call_ok f "raw://");
+  check_audit f "resume"
+
+let test_crash_recovery_refreshes () =
+  with_faults (fun () ->
+      let f = make () in
+      ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+      ignore (call_ok f "svc://") (* warm the cache, faults off *);
+      Fault.reset ~seed:3 ();
+      Fault.arm ~budget:1 ~site:"server.meshsvc" ~kind:Fault.Crash
+        (Fault.At_hit 1);
+      Alcotest.(check string) "call recovers through restart" "svc:ping"
+        (call_ok f "svc://");
+      Fault.disable ();
+      let st = Mesh.retry_stats f.mesh in
+      Alcotest.(check bool) "a restart happened" true (st.Retry.restarts >= 1);
+      Alcotest.(check bool) "the retry recovered" true (st.Retry.retried_ok >= 1);
+      Alcotest.(check string) "post-recovery calls keep flowing" "svc:ping"
+        (call_ok f "svc://");
+      check_audit f "crash recovery")
+
+let test_nameserv_crash_mid_resolve () =
+  with_faults (fun () ->
+      let f = make () in
+      ignore (Mesh.grant f.mesh ~core:0 ~client:f.client "svc://");
+      Fault.reset ~seed:5 ();
+      Fault.arm ~budget:1 ~site:Mesh.fault_site ~kind:Fault.Crash
+        (Fault.At_hit 1);
+      (* Force a wire resolve on a cold core: the name service crashes
+         mid-resolve, restarts, and the resolve retries transparently. *)
+      Alcotest.(check (option int)) "resolve survives the nameserv crash"
+        (Some f.svc_sid)
+        (Mesh.resolve f.mesh ~core:3 ~client:f.client "svc://");
+      Fault.disable ();
+      check_audit f "nameserv crash")
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Conservation: under any interleaving of pushes and pops across the
+   receivers, every pushed item is popped exactly once. *)
+let prop_endpoint_conservation =
+  QCheck.Test.make ~name:"endpoint conserves items under any interleaving"
+    ~count:30
+    QCheck.(list (pair (int_bound 3) (int_bound 4)))
+    (fun ops ->
+      let machine = Machine.create ~cores:4 ~mem_mib:32 () in
+      let kernel = Kernel.create machine in
+      let ep = Endpoint.create kernel ~name:"qc" ~receivers:4 in
+      let pushed = ref [] and popped = ref [] in
+      let next = ref 0 in
+      List.iter
+        (fun (recv, op) ->
+          if op = 0 then (
+            (* op 0: pop for [recv]; anything else: push (round-robin
+               when the receiver index is out of range). *)
+            match Endpoint.pop ep ~core:recv ~recv with
+            | Some v -> popped := v :: !popped
+            | None -> ())
+          else begin
+            let v = !next in
+            incr next;
+            pushed := v :: !pushed;
+            if op = 1 then Endpoint.push ep ~core:0 v
+            else Endpoint.push ep ~core:0 ~receiver:recv v
+          end)
+        ops;
+      (* Drain: rotate over receivers until the endpoint is empty. *)
+      let rec drain r guard =
+        if Endpoint.pending ep > 0 && guard > 0 then begin
+          (match Endpoint.pop ep ~core:(r mod 4) ~recv:(r mod 4) with
+          | Some v -> popped := v :: !popped
+          | None -> ());
+          drain (r + 1) (guard - 1)
+        end
+      in
+      drain 0 (4 * (List.length ops + 4));
+      Endpoint.pending ep = 0
+      && List.sort compare !popped = List.sort compare !pushed
+      && Endpoint.pushed ep = List.length !pushed
+      && Endpoint.popped ep = List.length !pushed)
+
+(* Refcount invariant: after any grant/revoke sequence over the two
+   overlapping services, a binding exists iff it was established by a
+   grant and is still covered by at least one live capability — the
+   svc:// closure includes the store, so a live svc grant keeps the
+   store binding alive across raw:// revocations. Calls succeed iff
+   covered, and both audits stay clean at every step. *)
+let prop_grant_revoke_refcount =
+  QCheck.Test.make ~name:"grant/revoke refcounts over overlapping closures"
+    ~count:8
+    QCheck.(list (pair bool bool))
+    (fun ops ->
+      let f = make () in
+      let live = [| []; [] |] (* per-uri stack of live grants *) in
+      let uris = [| "svc://"; "raw://" |] in
+      (* Model bindings: a grant establishes bindings for its whole dep
+         closure (the store rides along with svc://); the revocation
+         sweep removes a binding exactly when no live capability covers
+         it any more. *)
+      let bound = [| false; false |] in
+      let ok = ref true in
+      let step (is_grant, which) =
+        let i = if which then 1 else 0 in
+        if is_grant then begin
+          live.(i) <-
+            Mesh.grant f.mesh ~core:0 ~client:f.client uris.(i) :: live.(i);
+          bound.(i) <- true;
+          bound.(1) <- true (* the store is in both closures *)
+        end
+        else
+          match live.(i) with
+          | g :: rest ->
+            Mesh.revoke_grant f.mesh ~core:0 g;
+            live.(i) <- rest;
+            bound.(0) <- bound.(0) && live.(0) <> [];
+            bound.(1) <- bound.(1) && (live.(0) <> [] || live.(1) <> [])
+          | [] -> ()
+      in
+      List.iter
+        (fun op ->
+          step op;
+          let covered = [| live.(0) <> []; live.(0) <> [] || live.(1) <> [] |] in
+          ok :=
+            !ok
+            && has_binding f ~sid:f.svc_sid = bound.(0)
+            && has_binding f ~sid:f.store_sid = bound.(1)
+            && List.length (Mesh.audit f.mesh) = 0
+            && List.length (Subkernel.audit f.sb) = 0;
+          Array.iteri
+            (fun i uri ->
+              let reply =
+                Mesh.call f.mesh ~core:0 ~client:f.client uri
+                  (Bytes.of_string "q")
+              in
+              ok :=
+                !ok
+                &&
+                match (reply, covered.(i)) with
+                | Ok _, true -> true
+                | Error (`Denied _), false -> true
+                | _ -> false)
+            uris)
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mesh"
+    [
+      ( "name-service",
+        [
+          Alcotest.test_case "resolve + cached call" `Quick test_resolve_and_call;
+          Alcotest.test_case "unresolved scheme" `Quick test_unresolved;
+          Alcotest.test_case "re-register freshness per core" `Quick
+            test_reregister_freshness_on_every_core;
+        ] );
+      ( "capabilities",
+        [
+          Alcotest.test_case "grant covers dep closure" `Quick
+            test_grant_covers_closure;
+          Alcotest.test_case "overlapping closures refcount" `Quick
+            test_overlapping_closures_refcount;
+          Alcotest.test_case "revoke_service retires subtree" `Quick
+            test_revoke_service_retires_subtree;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "suspend/revoke/resume degrades" `Quick
+            test_suspend_revoke_resume_degrades;
+          Alcotest.test_case "crash recovery through the mesh" `Quick
+            test_crash_recovery_refreshes;
+          Alcotest.test_case "nameserv crash mid-resolve" `Quick
+            test_nameserv_crash_mid_resolve;
+        ] );
+      ( "properties",
+        qc [ prop_endpoint_conservation; prop_grant_revoke_refcount ] );
+    ]
