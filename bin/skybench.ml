@@ -161,26 +161,49 @@ let audit_cmd =
   in
   let run json =
     let scenarios = Sky_experiments.Exp_audit.scenarios () in
+    let viols prs = Sky_analysis.Audit.violations prs in
     let total =
-      List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 scenarios
+      List.fold_left
+        (fun acc (_, prs) -> acc + List.length (viols prs))
+        0 scenarios
     in
     if json then begin
-      let scenario_json (name, vs) =
-        Printf.sprintf "{\"scenario\":\"%s\",\"ok\":%b,\"violations\":%s}" name
-          (vs = [])
+      let pass_json (pr : Sky_analysis.Audit.pass_result) =
+        Printf.sprintf "{\"pass\":\"%s\",\"ms\":%.3f,\"violations\":%s}"
+          pr.Sky_analysis.Audit.pr_name pr.Sky_analysis.Audit.pr_ms
+          (Sky_analysis.Report.list_to_json pr.Sky_analysis.Audit.pr_violations)
+      in
+      let scenario_json (name, prs) =
+        let vs = viols prs in
+        Printf.sprintf
+          "{\"scenario\":\"%s\",\"ok\":%b,\"passes\":[%s],\"violations\":%s}"
+          name (vs = [])
+          (String.concat "," (List.map pass_json prs))
           (Sky_analysis.Report.list_to_json vs)
       in
-      Printf.printf "{\"ok\":%b,\"scenarios\":[%s]}\n" (total = 0)
+      Printf.printf "{\"ok\":%b,\"passes\":[%s],\"scenarios\":[%s]}\n"
+        (total = 0)
+        (String.concat ","
+           (List.map (Printf.sprintf "\"%s\"") Sky_analysis.Audit.pass_names))
         (String.concat "," (List.map scenario_json scenarios))
     end
     else
       List.iter
-        (fun (name, vs) ->
-          match vs with
-          | [] -> Printf.printf "scenario %-8s OK (0 violations)\n" name
+        (fun (name, prs) ->
+          let timing =
+            String.concat " "
+              (List.map
+                 (fun (pr : Sky_analysis.Audit.pass_result) ->
+                   Printf.sprintf "%s:%.2fms" pr.Sky_analysis.Audit.pr_name
+                     pr.Sky_analysis.Audit.pr_ms)
+                 prs)
+          in
+          match viols prs with
+          | [] ->
+            Printf.printf "scenario %-8s OK (0 violations) [%s]\n" name timing
           | vs ->
-            Printf.printf "scenario %-8s FAIL (%d violations)\n" name
-              (List.length vs);
+            Printf.printf "scenario %-8s FAIL (%d violations) [%s]\n" name
+              (List.length vs) timing;
             List.iter
               (fun v ->
                 Printf.printf "  %s\n" (Sky_analysis.Report.to_string v))

@@ -1,27 +1,88 @@
-(** Orchestration of the three auditors.
+(** The unified audit-pass registry.
 
-    The inputs are plain data (bytes, roots, VMCSes) rather than
-    Subkernel values so the library stays below [sky_core] in the
-    dependency order; {!Sky_core.Subkernel.audit} assembles the inputs
-    from a live machine and the CLI ([skybench audit]) formats the
-    result. *)
+    Every auditor is a named pass over one {!input} record, so the
+    whole-machine sweep ([skybench audit --json], the chaos/mesh gates,
+    {!Sky_core.Subkernel.audit}) runs them from a single driver with
+    per-pass timing and one report schema. The inputs are plain data
+    (bytes, roots, VMCSes, pid pairs) rather than Subkernel values so the
+    library stays below [sky_core] in the dependency order;
+    {!Sky_core.Subkernel.audit} assembles the inputs from a live machine
+    and the CLI formats the result.
+
+    Passes, in registry order:
+
+    - [gadget] — whole-image VMFUNC scan ({!Gadget}, memoized on image
+      content)
+    - [trampoline] — abstract interpretation of the live trampoline
+      bytes ({!Tramp_check})
+    - [ept] — EPT / guest-PT shape: W^X, execute-only trampoline, EPTP
+      slots ({!Ept_check})
+    - [mesh] — service-mesh authority: bindings vs capabilities, URI
+      liveness ({!Mesh_check})
+    - [isoflow] — whole-machine cross-domain reachability over the
+      composed PT∘EPT sharing graph ({!Isoflow}) *)
 
 type input = {
   images : Gadget.image list;
   machine : Ept_check.input option;
   trampolines : (string * bytes) list;
       (** trampoline page bytes as read from the shared physical frame *)
+  mesh : Mesh_check.input option;
+  isoflow : Isoflow.input option;
 }
 
-let run inp =
-  let image_vs = List.concat_map Gadget.audit inp.images in
-  let tramp_vs =
-    List.concat_map (fun (image, code) -> Tramp_check.check ~image code)
-      inp.trampolines
-  in
-  let machine_vs =
-    match inp.machine with None -> [] | Some m -> Ept_check.check m
-  in
-  Report.sort (image_vs @ tramp_vs @ machine_vs)
+let input ?(images = []) ?machine ?(trampolines = []) ?mesh ?isoflow () =
+  { images; machine; trampolines; mesh; isoflow }
+
+type pass = {
+  p_name : string;
+  p_run : input -> Report.violation list;
+}
+
+let passes =
+  [
+    { p_name = "gadget";
+      p_run = (fun inp -> List.concat_map Gadget.audit inp.images) };
+    { p_name = "trampoline";
+      p_run =
+        (fun inp ->
+          List.concat_map
+            (fun (image, code) -> Tramp_check.check ~image code)
+            inp.trampolines) };
+    { p_name = "ept";
+      p_run =
+        (fun inp ->
+          match inp.machine with None -> [] | Some m -> Ept_check.check m) };
+    { p_name = "mesh";
+      p_run =
+        (fun inp ->
+          match inp.mesh with None -> [] | Some m -> Mesh_check.check m) };
+    { p_name = "isoflow";
+      p_run =
+        (fun inp ->
+          match inp.isoflow with None -> [] | Some i -> Isoflow.check i) };
+  ]
+
+let pass_names = List.map (fun p -> p.p_name) passes
+
+type pass_result = {
+  pr_name : string;
+  pr_violations : Report.violation list;
+  pr_ms : float;  (** host milliseconds — diagnostic, not deterministic *)
+}
+
+let run_passes inp =
+  List.map
+    (fun p ->
+      let t0 = Sys.time () in
+      let vs = Report.sort (p.p_run inp) in
+      { pr_name = p.p_name;
+        pr_violations = vs;
+        pr_ms = (Sys.time () -. t0) *. 1000. })
+    passes
+
+let violations prs = Report.sort (List.concat_map (fun pr -> pr.pr_violations) prs)
+
+let run inp = violations (run_passes inp)
 
 let ok vs = vs = []

@@ -89,7 +89,46 @@ let reachable_vmfuncs code ~entries =
   List.iter go entries;
   List.sort (fun a b -> compare a.Decode.off b.Decode.off) !hits
 
-let audit img =
+(* ---- content-hash memoization ----
+
+   Chaos restarts and repeated whole-machine audits rescan the same
+   images over and over: the web/mesh scenarios audit every registered
+   process at the end of every run, and the per-registration audit
+   re-proves the same trampoline bytes for every process. The scan is a
+   pure function of the image, so memoize it on an FNV-1a content hash,
+   revalidating with a full byte compare on hit (a collision must never
+   return another image's verdict). The table is bounded; overflow drops
+   it wholesale — correctness never depends on a hit. *)
+
+let memo_capacity = 256
+let memo : (int64, image * Report.violation list) Hashtbl.t =
+  Hashtbl.create memo_capacity
+let memo_hits_ = ref 0
+let memo_misses_ = ref 0
+
+let fnv1a64 img =
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
+  in
+  Bytes.iter (fun c -> mix (Char.code c)) img.bytes;
+  mix (img.va land 0xff);
+  mix (Hashtbl.hash (img.name, img.va, img.allowed, img.entries) land 0xffffff);
+  !h
+
+let same_image a b =
+  a.name = b.name && a.va = b.va && a.allowed = b.allowed
+  && a.entries = b.entries
+  && Bytes.equal a.bytes b.bytes
+
+let memo_stats () = (!memo_hits_, !memo_misses_)
+
+let memo_reset () =
+  Hashtbl.reset memo;
+  memo_hits_ := 0;
+  memo_misses_ := 0
+
+let audit_uncached img =
   let vs = ref [] in
   let add ?addr invariant detail =
     vs := Report.v ?addr ~invariant ~image:img.name detail :: !vs
@@ -122,12 +161,31 @@ let audit img =
           (Printf.sprintf "vmfunc reachable from entry (va %#x)"
              (img.va + d.Decode.off)))
     (reachable_vmfuncs img.bytes ~entries:img.entries);
-  (* 4. Undecodable regions are unverifiable, not trusted. *)
+  (* 4. Undecodable regions are unverifiable, not trusted. Severity Warn:
+     registration still refuses them, but a whole-machine sweep ranks
+     them below proven gadget findings. *)
   List.iter
     (fun (off, len) ->
-      add ~addr:off "gadget.unverifiable"
-        (Printf.sprintf "%d undecodable byte%s at va %#x" len
-           (if len = 1 then "" else "s")
-           (img.va + off)))
+      vs :=
+        Report.v ~severity:Report.Warn ~addr:off
+          ~invariant:"gadget.unverifiable" ~image:img.name
+          (Printf.sprintf "%d undecodable byte%s at va %#x" len
+             (if len = 1 then "" else "s")
+             (img.va + off))
+        :: !vs)
     (Decode.unknown_spans img.bytes);
   Report.sort !vs
+
+let audit img =
+  let h = fnv1a64 img in
+  match Hashtbl.find_opt memo h with
+  | Some (cached, vs) when same_image cached img ->
+    incr memo_hits_;
+    vs
+  | _ ->
+    incr memo_misses_;
+    let vs = audit_uncached img in
+    if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
+    Hashtbl.replace memo h
+      ({ img with bytes = Bytes.copy img.bytes }, vs);
+    vs

@@ -14,26 +14,34 @@
       server: a crash during a resolved call must not leave a dangling
       binding reachable by URI. *)
 
-let check ~bindings ~covered ~resolutions ~dead =
+type input = {
+  bindings : (int * int) list;  (** live (client pid, server id) pairs *)
+  covered : pid:int -> server_id:int -> bool;
+      (** does a live capability with the send right cover the pair? *)
+  resolutions : (string * int) list;  (** name-service (uri, sid) table *)
+  dead : int list;  (** crashed-and-not-restarted server ids *)
+}
+
+let check inp =
   let orphaned =
     List.filter_map
       (fun (pid, server_id) ->
-        if covered ~pid ~server_id then None
+        if inp.covered ~pid ~server_id then None
         else
           Some
             (Report.v ~addr:server_id ~invariant:"mesh.binding-outlives-cap"
                ~image:(Printf.sprintf "pid%d->sid%d" pid server_id)
                "live binding with no live capability covering it"))
-      bindings
+      inp.bindings
   in
   let dangling =
     List.filter_map
       (fun (uri, sid) ->
-        if List.mem sid dead then
+        if List.mem sid inp.dead then
           Some
             (Report.v ~addr:sid ~invariant:"mesh.uri-dangling" ~image:uri
                "URI resolves to a dead server")
         else None)
-      resolutions
+      inp.resolutions
   in
   Report.sort (orphaned @ dangling)

@@ -623,6 +623,26 @@ let revoke_binding ?(orphan = true) t ~core proc ~server_id ~reason =
         t.orphans <- (proc.Proc.pid, server_id) :: t.orphans;
       clear_key t (find_server t server_id) ~client_pid:proc.Proc.pid
         ~key:b.server_key;
+      (* Unmap the binding's shared buffers from {e every} registered
+         address space (client, server, intermediaries): a frame whose
+         grant died must not stay writable anywhere, or the revocation
+         leaves a cross-domain channel behind — exactly what Isoflow's
+         [flow.shared-writable] flags. Buffer VAs are allocated
+         monotonically so they are unique to this binding, and
+         {!Page_table.unmap} is a no-op in spaces that never mapped
+         them. The frames themselves stay allocated: surviving
+         dependency bindings keep their own (distinct) buffers. *)
+      let mem = Kernel.mem t.kernel in
+      Hashtbl.iter
+        (fun _ other ->
+          Array.iter
+            (fun va ->
+              for page = 0 to (buffer_size / 4096) - 1 do
+                Page_table.unmap other.proc.Proc.page_table ~mem
+                  ~va:(va + (page * 4096))
+              done)
+            b.buffer_vas)
+        t.pstates;
       refresh_lists t ps;
       security t
         (Printf.sprintf "revoked binding pid %d -> server %d: %s" proc.Proc.pid
@@ -1108,15 +1128,125 @@ let callee_saved_violations t =
                   else [])
                 callee_saved))
 
-let audit t =
+let sorted_pstates t =
+  List.sort
+    (fun a b -> compare a.proc.Proc.pid b.proc.Proc.pid)
+    (Hashtbl.fold (fun _ ps acc -> ps :: acc) t.pstates [])
+
+(* The server-id → server-pid table, for lowering capability grants
+   (which speak server ids) into the pid pairs Isoflow's closure check
+   consumes. *)
+let server_ids t =
+  List.sort compare
+    (List.map (fun s -> (s.server_id, s.sproc.Proc.pid)) t.servers)
+
+(* Test accessor: the live binding EPT for (client, server), for the
+   mutation tests that forge mappings into it. *)
+let binding_ept t proc ~server_id =
+  match pstate_opt t proc with
+  | None -> None
+  | Some ps ->
+    List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings
+    |> Option.map (fun b -> b.ept)
+
+(* Lower the live machine into Isoflow's input: every registered process
+   is both a domain (a set of VMFUNC-reachable EPTP slots) and a space
+   (a CR3 that slots can land in); the live binding buffers are the only
+   authorized cross-domain writable frames; [granted] defaults to the
+   binding registry itself (the mesh overrides it with the capability
+   closure, which is the stricter ground truth). *)
+let isoflow_input ?granted t =
+  let pstates = sorted_pstates t in
+  let spaces =
+    List.map
+      (fun ps ->
+        {
+          Sky_analysis.Isoflow.s_pid = ps.proc.Proc.pid;
+          s_name = ps.proc.Proc.name;
+          s_cr3 = Proc.cr3 ps.proc;
+        })
+      pstates
+  in
+  let domains =
+    List.map
+      (fun ps ->
+        {
+          Sky_analysis.Isoflow.d_pid = ps.proc.Proc.pid;
+          d_name = ps.proc.Proc.name;
+          d_cr3 = Proc.cr3 ps.proc;
+          d_slots = List.mapi (fun i root -> (i, root)) (eptp_list_of ps);
+          d_allowed =
+            Ept.root_pa ps.own_ept
+            :: List.map (fun b -> Ept.root_pa b.ept) ps.bindings;
+        })
+      pstates
+  in
+  let shared =
+    List.concat_map
+      (fun ps ->
+        List.concat_map
+          (fun b ->
+            Array.to_list
+              (Array.mapi
+                 (fun i pa ->
+                   {
+                     Sky_analysis.Isoflow.r_name =
+                       Printf.sprintf "buf:%s->server%d/%d" ps.proc.Proc.name
+                         b.b_server_id i;
+                     r_pa = pa;
+                     r_len = buffer_size;
+                   })
+                 b.buffer_pas))
+          ps.bindings)
+      pstates
+  in
+  let granted =
+    match granted with
+    | Some g -> g
+    | None ->
+      List.sort_uniq compare
+        (List.concat_map
+           (fun ps ->
+             List.map
+               (fun b ->
+                 ( ps.proc.Proc.pid,
+                   (find_server t b.b_server_id).sproc.Proc.pid ))
+               ps.bindings)
+           pstates)
+  in
+  let cores =
+    Array.to_list
+      (Array.mapi
+         (fun core vmcs ->
+           let pid =
+             match t.kernel.Kernel.running.(core) with
+             | Some p when Hashtbl.mem t.pstates p.Proc.pid -> Some p.Proc.pid
+             | _ -> None
+           in
+           ( Printf.sprintf "core%d" core,
+             pid,
+             Array.to_list vmcs.Vmcs.eptp_list ))
+         t.root.Rootkernel.vmcses)
+  in
+  {
+    Sky_analysis.Isoflow.mem = Kernel.mem t.kernel;
+    domains;
+    spaces;
+    shared;
+    granted;
+    cores;
+    base_root = Ept.root_pa t.root.Rootkernel.base_ept;
+    trampoline_va = Layout.trampoline_va;
+    trampoline_gpa = t.trampoline_frame;
+    trampoline_bytes = live_trampoline t;
+  }
+
+(* The full pass-registry input for this machine. *)
+let audit_input ?granted t =
   let mem = Kernel.mem t.kernel in
   let tramp = live_trampoline t in
   let allowed = Trampoline.vmfunc_ranges t.trampoline_bytes in
-  let pstates =
-    List.sort
-      (fun a b -> compare a.proc.Proc.pid b.proc.Proc.pid)
-      (Hashtbl.fold (fun _ ps acc -> ps :: acc) t.pstates [])
-  in
+  let pstates = sorted_pstates t in
   let images =
     Sky_analysis.Gadget.image ~name:"trampoline" ~va:Layout.trampoline_va
       ~allowed tramp
@@ -1159,10 +1289,28 @@ let audit t =
       trampoline_va = Layout.trampoline_va;
     }
   in
-  Sky_analysis.Audit.run
-    {
-      Sky_analysis.Audit.images;
-      machine = Some machine;
-      trampolines = [ ("trampoline", tramp) ];
-    }
-  @ callee_saved_violations t
+  Sky_analysis.Audit.input ~images ~machine
+    ~trampolines:[ ("trampoline", tramp) ]
+    ~isoflow:(isoflow_input ?granted t) ()
+
+(* Whole-machine audit through the unified pass registry; the dynamic
+   callee-saved check (live register state, not lowerable to plain data)
+   rides in the trampoline pass. *)
+let audit_passes ?granted t =
+  let prs = Sky_analysis.Audit.run_passes (audit_input ?granted t) in
+  match callee_saved_violations t with
+  | [] -> prs
+  | cs ->
+    List.map
+      (fun (pr : Sky_analysis.Audit.pass_result) ->
+        if pr.Sky_analysis.Audit.pr_name = "trampoline" then
+          {
+            pr with
+            Sky_analysis.Audit.pr_violations =
+              Sky_analysis.Report.sort
+                (cs @ pr.Sky_analysis.Audit.pr_violations);
+          }
+        else pr)
+      prs
+
+let audit t = Sky_analysis.Audit.violations (audit_passes t)

@@ -204,11 +204,39 @@ val trampoline_frame : t -> int
     auditor's mutation tests). *)
 
 val audit : t -> Sky_analysis.Report.violation list
-(** Whole-machine static security audit: gadget-audits every registered
+(** Whole-machine static security audit through the unified pass
+    registry ({!Sky_analysis.Audit}): gadget-audits every registered
     process image and the live trampoline bytes, abstract-interprets the
-    trampoline, and checks EPT/page-table W^X, trampoline protection and
-    EPTP-list validity across all process and binding EPTs. [[]] means
-    every invariant holds. *)
+    trampoline, checks EPT/page-table W^X, trampoline protection and
+    EPTP-list validity across all process and binding EPTs, and runs the
+    Isoflow cross-domain reachability pass over the composed PT∘EPT
+    sharing graph. [[]] means every invariant holds. *)
+
+val audit_passes :
+  ?granted:(int * int) list -> t -> Sky_analysis.Audit.pass_result list
+(** {!audit} with per-pass structure and timing ([skybench audit]'s
+    view). [granted] overrides Isoflow's authority ground truth with the
+    mesh capability closure (as [(client pid, server pid)] pairs); it
+    defaults to the binding registry itself. *)
+
+val audit_input : ?granted:(int * int) list -> t -> Sky_analysis.Audit.input
+(** The lowered pass-registry input for this machine (every image, EPT,
+    page table, EPTP list, and the Isoflow machine model). *)
+
+val isoflow_input :
+  ?granted:(int * int) list -> t -> Sky_analysis.Isoflow.input
+(** The Isoflow machine model alone — what the differential
+    sharing-graph snapshots ({!Sky_analysis.Isoflow.graph}) consume. *)
+
+val server_ids : t -> (int * int) list
+(** Sorted [(server_id, server_pid)] pairs for every registered server —
+    for lowering capability grants (which speak server ids) into the pid
+    pairs Isoflow's [flow.closure] check consumes. *)
+
+val binding_ept :
+  t -> Sky_ukernel.Proc.t -> server_id:int -> Sky_mmu.Ept.t option
+(** The live binding EPT for [(client, server_id)], if bound — exposed
+    for the auditor's mutation tests. *)
 
 val make_code_writable : t -> Sky_ukernel.Proc.t -> unit
 (** W^X (§9): flip the process's code pages to writable+non-executable so

@@ -5,8 +5,12 @@
     dependency topology whose client ships VMFUNC encodings of all three
     cases (C1 actual instruction, C2 spanning an instruction boundary, C3
     embedded in an immediate), exercises direct calls, and then runs the
-    whole-machine {!Sky_core.Subkernel.audit}. A healthy build reports
-    zero violations everywhere — the CI gate.
+    whole-machine pass registry ({!Sky_core.Subkernel.audit_passes}),
+    returning per-pass results with timing. A fourth scenario routes the
+    same topology through the capability mesh and audits with the
+    capability closure as Isoflow's ground truth
+    ({!Sky_mesh.Mesh.audit_passes}). A healthy build reports zero
+    violations everywhere — the CI gate.
 
     [run_cases] re-scans the Table 6 synthetic corpus and classifies every
     occurrence by case, the way ERIM reports WRPKRU occurrences — the
@@ -73,9 +77,38 @@ let build variant =
        (Bytes.make 64 'x'));
   sb
 
+(* The same topology routed through the capability mesh: grants cover
+   the dependency closure, so Isoflow's [flow.closure] runs against the
+   capability registry rather than the binding registry. *)
+let build_mesh () =
+  let machine = Machine.create ~cores:2 ~mem_mib:64 () in
+  let kernel = Kernel.create machine in
+  let sb = Subkernel.init kernel in
+  let mesh = Sky_mesh.Mesh.create sb in
+  let spawn name code =
+    let p = Kernel.spawn kernel ~name in
+    ignore (Kernel.map_code kernel p code);
+    p
+  in
+  let clean = Sky_isa.Encode.encode_all [ Sky_isa.Insn.Nop; Sky_isa.Insn.Ret ] in
+  let client = spawn "client" (dirty_client_code ()) in
+  let fs = spawn "fs" clean in
+  let disk = spawn "disk" clean in
+  let sid_disk = Subkernel.register_server sb disk echo in
+  let sid_fs = Subkernel.register_server sb fs ~deps:[ sid_disk ] echo in
+  Sky_mesh.Mesh.register mesh ~core:0 ~uri:"blk://" ~server_id:sid_disk;
+  Sky_mesh.Mesh.register mesh ~core:0 ~uri:"fs://" ~server_id:sid_fs;
+  Sky_mesh.Mesh.connect mesh client;
+  ignore (Sky_mesh.Mesh.grant mesh ~core:0 ~client "fs://");
+  Kernel.context_switch kernel ~core:0 client;
+  ignore (Sky_mesh.Mesh.call_exn mesh ~core:0 ~client "fs://" (Bytes.make 64 'x'));
+  mesh
+
 let scenarios () =
-  List.map (fun (variant, name) -> (name, Subkernel.audit (build variant)))
+  List.map
+    (fun (variant, name) -> (name, Subkernel.audit_passes (build variant)))
     variants
+  @ [ ("mesh", Sky_mesh.Mesh.audit_passes (build_mesh ())) ]
 
 (* ------------------------------------------------------------------ *)
 (* ERIM-style case breakdown over the corpus                           *)

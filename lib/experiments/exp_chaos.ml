@@ -224,7 +224,11 @@ let run_mesh ~seed =
     s_restarts = r.Exp_mesh.m_restarts;
     s_forced_returns = r.Exp_mesh.m_forced_returns;
     s_sec_dropped = r.Exp_mesh.m_sec_dropped;
-    s_audit = r.Exp_mesh.m_audit + r.Exp_mesh.m_mesh_audit;
+    (* The differential Isoflow gate rides the audit count: a stale
+       writable mapping left by crash → restart → rebind under storm
+       fails the census exactly like a static violation. *)
+    s_audit =
+      r.Exp_mesh.m_audit + r.Exp_mesh.m_mesh_audit + r.Exp_mesh.m_graph_stale;
     s_fsck = Some r.Exp_mesh.m_fsck;
   }
 

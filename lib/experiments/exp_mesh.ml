@@ -71,6 +71,13 @@ type result = {
   m_sec_dropped : int;  (** security-ring overflow drops *)
   m_audit : int;  (** subkernel audit violations *)
   m_mesh_audit : int;  (** mesh audit violations *)
+  m_graph_edges : int;  (** sharing-graph edges at end of run *)
+  m_graph_added : int;  (** edges the scenario added (vs pre-storm) *)
+  m_graph_removed : int;  (** ... and removed *)
+  m_graph_stale : int;
+      (** added writable edges no live shared buffer justifies — the
+          Isoflow differential gate: crash → restart → rebind and the
+          two control-plane events must leave no stale mapping *)
   m_fsck : int;
   m_elapsed : int;
   m_tput : float;
@@ -217,6 +224,12 @@ let run_mesh ?(seed = default_seed) ?(conns = 24) ?(requests_per_conn = 8)
     | _ -> Machine.Done
   in
   (* ---- drive the run ---- *)
+  (* Differential Isoflow: snapshot the composed PT∘EPT sharing graph
+     with every worker bound, before the storm and the control-plane
+     events run. Whatever writable edges the run adds must be justified
+     by a live shared buffer at the end — revocation, hot upgrade and
+     crash recovery may grow the graph but never leak one. *)
+  let graph_before = Sky_analysis.Isoflow.graph (Mesh.isoflow_input mesh) in
   storm ();
   Machine.sync_cores machine;
   let start = Cpu.cycles (Machine.core machine 0) in
@@ -232,6 +245,13 @@ let run_mesh ?(seed = default_seed) ?(conns = 24) ?(requests_per_conn = 8)
   done;
   let st = Mesh.retry_stats mesh in
   let dropped = Loadgen.expected lg - Loadgen.responses lg + Loadgen.errors lg in
+  let iso_after = Mesh.isoflow_input mesh in
+  let graph_after = Sky_analysis.Isoflow.graph iso_after in
+  let gdelta = Sky_analysis.Isoflow.diff ~before:graph_before ~after:graph_after in
+  let stale =
+    Sky_analysis.Isoflow.stale
+      ~shared:iso_after.Sky_analysis.Isoflow.shared gdelta
+  in
   {
     m_seed = seed;
     m_expected = Loadgen.expected lg;
@@ -258,6 +278,10 @@ let run_mesh ?(seed = default_seed) ?(conns = 24) ?(requests_per_conn = 8)
     m_sec_dropped = Subkernel.security_events_dropped sb;
     m_audit = List.length (Subkernel.audit sb);
     m_mesh_audit = List.length (Mesh.audit mesh);
+    m_graph_edges = List.length graph_after;
+    m_graph_added = List.length gdelta.Sky_analysis.Isoflow.added;
+    m_graph_removed = List.length gdelta.Sky_analysis.Isoflow.removed;
+    m_graph_stale = List.length stale;
     m_fsck = List.length (Fsck.check !fs_cell ~core:0);
     m_elapsed = !elapsed;
     m_tput = Costs.ops_per_sec ~ops:(Loadgen.responses lg) ~cycles:(max 1 !elapsed);
@@ -270,10 +294,11 @@ let fanned_out r = List.for_all (fun n -> n > 0) r.m_per_worker && r.m_steals > 
 let upgraded r = r.m_kv_v1 > 0 && r.m_kv_v2 > 0 && r.m_upgrade_at > 0
 let degraded r = r.m_denials > 0
 let audits_clean r = r.m_audit = 0 && r.m_mesh_audit = 0 && r.m_fsck = 0
+let no_stale r = r.m_graph_stale = 0
 
 let ok r =
   all_served r && fanned_out r && upgraded r && degraded r && audits_clean r
-  && r.m_lost = 0
+  && no_stale r && r.m_lost = 0
 
 (* ---- rendering ---- *)
 
@@ -312,6 +337,9 @@ let table r =
       row "lost" (string_of_int r.m_lost);
       row "audit (subkernel / mesh / fsck)"
         (Printf.sprintf "%d / %d / %d" r.m_audit r.m_mesh_audit r.m_fsck);
+      row "sharing graph (edges / +added / -removed / stale)"
+        (Printf.sprintf "%d / +%d / -%d / %d" r.m_graph_edges r.m_graph_added
+           r.m_graph_removed r.m_graph_stale);
       row "throughput" (Tbl.fmt_ops r.m_tput);
       row "acceptance" (if ok r then "PASS" else "FAIL");
     ]
@@ -349,6 +377,10 @@ let to_json r =
          ("security_dropped", Int r.m_sec_dropped);
          ("audit_violations", Int r.m_audit);
          ("mesh_audit_violations", Int r.m_mesh_audit);
+         ("graph_edges", Int r.m_graph_edges);
+         ("graph_added", Int r.m_graph_added);
+         ("graph_removed", Int r.m_graph_removed);
+         ("graph_stale", Int r.m_graph_stale);
          ("fsck_problems", Int r.m_fsck);
          ("elapsed_cycles", Int r.m_elapsed);
          ("throughput_req_per_sec", Float r.m_tput);
@@ -357,6 +389,7 @@ let to_json r =
          ("upgraded", Bool (upgraded r));
          ("degraded_cleanly", Bool (degraded r));
          ("audits_clean", Bool (audits_clean r));
+         ("no_stale_mappings", Bool (no_stale r));
          ("ok", Bool (ok r));
        ])
 

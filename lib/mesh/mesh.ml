@@ -355,16 +355,53 @@ let call_exn t ~core ~client ?on_crash uri msg =
 
 (* ---- audit ---- *)
 
-let audit t =
+let mesh_input t =
   let resolutions =
     Hashtbl.fold (fun s sid acc -> (s ^ "://", sid) :: acc) t.table []
     |> List.sort compare
   in
-  Sky_analysis.Mesh_check.check
-    ~bindings:(Subkernel.bindings t.sb)
-    ~covered:(fun ~pid ~server_id -> covered t ~pid ~sid:server_id)
-    ~resolutions
-    ~dead:(Subkernel.dead_servers t.sb)
+  {
+    Sky_analysis.Mesh_check.bindings = Subkernel.bindings t.sb;
+    covered = (fun ~pid ~server_id -> covered t ~pid ~sid:server_id);
+    resolutions;
+    dead = Subkernel.dead_servers t.sb;
+  }
+
+(* The capability closure as (client pid, server pid) pairs — Isoflow's
+   [flow.closure] ground truth. Stricter than the Subkernel's own
+   binding-derived default: a binding forged around the mesh (no
+   covering capability) is a cross-domain view with no grant. *)
+let granted t =
+  let sids = Subkernel.server_ids t.sb in
+  let pids =
+    List.sort_uniq compare (List.map fst (Subkernel.bindings t.sb))
+  in
+  List.concat_map
+    (fun pid ->
+      List.filter_map
+        (fun (sid, spid) ->
+          if covered t ~pid ~sid then Some (pid, spid) else None)
+        sids)
+    pids
+
+let isoflow_input t = Subkernel.isoflow_input ~granted:(granted t) t.sb
+
+(* The mesh's own audit: the mesh authority invariants plus Isoflow with
+   the capability closure as ground truth (the machine-shape passes are
+   the Subkernel's audit; {!audit_passes} runs everything at once). *)
+let audit t =
+  Sky_analysis.Audit.run
+    (Sky_analysis.Audit.input ~mesh:(mesh_input t)
+       ~isoflow:(isoflow_input t) ())
+
+(* The full registry over the live machine: every Subkernel pass with
+   the mesh invariants and the capability-closure ground truth. *)
+let audit_passes t =
+  Sky_analysis.Audit.run_passes
+    {
+      (Subkernel.audit_input ~granted:(granted t) t.sb) with
+      Sky_analysis.Audit.mesh = Some (mesh_input t);
+    }
 
 (* ---- stats ---- *)
 

@@ -128,7 +128,19 @@ val call_exn :
 val audit : t -> Sky_analysis.Report.violation list
 (** The mesh invariants ([mesh.binding-outlives-cap],
     [mesh.uri-dangling]) over the live Subkernel binding set, the
-    capability registry and the name table. [[]] means clean. *)
+    capability registry and the name table, plus the Isoflow [flow.*]
+    reachability pass with the capability closure as ground truth
+    (a binding forged around the mesh is a cross-domain view with no
+    covering grant). [[]] means clean. *)
+
+val audit_passes : t -> Sky_analysis.Audit.pass_result list
+(** The full unified registry over the live machine: every
+    {!Sky_core.Subkernel.audit_passes} pass with the mesh invariants
+    included and Isoflow grounded in the capability closure. *)
+
+val isoflow_input : t -> Sky_analysis.Isoflow.input
+(** The Isoflow machine model with the capability-closure ground truth —
+    what the differential sharing-graph snapshots consume. *)
 
 val epoch : t -> int
 val resolves : t -> int

@@ -311,7 +311,7 @@ let clean_code =
     [ Insn.Nop; Insn.Nop; Insn.Nop; Insn.Nop; Insn.Nop; Insn.Nop; Insn.Nop;
       Insn.Ret ]
 
-let setup () =
+let setup_full () =
   let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:64 () in
   let k = Kernel.create machine in
   let sb = Subkernel.init k in
@@ -322,6 +322,10 @@ let setup () =
   let sid = Subkernel.register_server sb server echo in
   Subkernel.register_client_to_server sb client ~server_id:sid;
   Kernel.context_switch k ~core:0 client;
+  (k, sb, client, server, sid, client_code_va)
+
+let setup () =
+  let k, sb, client, _server, _sid, client_code_va = setup_full () in
   (k, sb, client, client_code_va)
 
 let test_audit_baseline_clean () =
@@ -383,6 +387,152 @@ let test_registration_rejects_unverifiable () =
     Alcotest.(check bool) "names gadget.unverifiable" true
       (Report.has ~invariant:"gadget.unverifiable" vs)
 
+(* ------------------------------------------------------------------ *)
+(* Isoflow mutation tests: one injected violation per flow.* invariant *)
+(* ------------------------------------------------------------------ *)
+
+let nx_rw = { Sky_mmu.Pte.urw with Sky_mmu.Pte.nx = true }
+let mutation_va = 0x7400_0000 (* free window below the stacks *)
+
+let test_flow_shared_writable () =
+  (* A frame writable from two address spaces that is not a registered
+     shared buffer — e.g. a forged shared mapping. *)
+  let k, sb, client, server, _sid, _ = setup_full () in
+  let pa = Sky_mem.Frame_alloc.alloc_frame (Kernel.alloc k) in
+  Kernel.map_frames k client ~va:mutation_va ~pa ~len:4096 ~flags:nx_rw;
+  Kernel.map_frames k server ~va:mutation_va ~pa ~len:4096 ~flags:nx_rw;
+  Alcotest.(check bool) "flow.shared-writable" true
+    (Report.has ~invariant:"flow.shared-writable" (Subkernel.audit sb))
+
+let test_flow_wx_cross () =
+  (* Writable in the client, executable in the server: cross-domain code
+     injection even though each space is individually W^X. *)
+  let k, sb, client, server, _sid, _ = setup_full () in
+  let pa = Sky_mem.Frame_alloc.alloc_frame (Kernel.alloc k) in
+  Kernel.map_frames k client ~va:mutation_va ~pa ~len:4096 ~flags:nx_rw;
+  Kernel.map_frames k server ~va:mutation_va ~pa ~len:4096
+    ~flags:Sky_mmu.Pte.urx;
+  let vs = Subkernel.audit sb in
+  Alcotest.(check bool) "flow.wx-cross" true
+    (Report.has ~invariant:"flow.wx-cross" vs);
+  Alcotest.(check bool) "per-space W^X alone does not see it" false
+    (Report.has ~invariant:"pt.wx" vs)
+
+let test_flow_tramp_identical () =
+  (* The binding EPT silently redirects the trampoline GPA to a
+     byte-identical copy frame: every per-structure check still passes
+     (x-only mapping, identical code), but the view no longer shares THE
+     trampoline frame. *)
+  let k, sb, client, _server, sid, _ = setup_full () in
+  let mem = Kernel.mem k in
+  let alloc = Kernel.alloc k in
+  let tramp_gpa = Subkernel.trampoline_frame sb in
+  let copy = Sky_mem.Frame_alloc.alloc_frame alloc in
+  Sky_mem.Phys_mem.write_bytes mem copy
+    (Sky_mem.Phys_mem.read_bytes mem tramp_gpa 4096);
+  (match Subkernel.binding_ept sb client ~server_id:sid with
+  | None -> Alcotest.fail "client has no binding EPT"
+  | Some ept ->
+    Sky_mmu.Ept.map_4k_flags ept ~mem ~alloc ~gpa:tramp_gpa ~hpa:copy
+      ~flags:
+        { Sky_mmu.Pte.present = true; writable = false; user = true;
+          huge = false; nx = false });
+  Alcotest.(check bool) "flow.tramp-identical" true
+    (Report.has ~invariant:"flow.tramp-identical" (Subkernel.audit sb))
+
+let test_flow_closure () =
+  (* A binding forged around the mesh: reachability without authority.
+     The capability closure is Isoflow's ground truth in Mesh.audit. *)
+  let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:64 () in
+  let k = Kernel.create machine in
+  let sb = Subkernel.init k in
+  let mesh = Sky_mesh.Mesh.create sb in
+  let server = Kernel.spawn k ~name:"server" in
+  ignore (Kernel.map_code k server clean_code);
+  let sid = Subkernel.register_server sb server echo in
+  Sky_mesh.Mesh.register mesh ~core:0 ~uri:"svc://" ~server_id:sid;
+  let rogue = Kernel.spawn k ~name:"rogue" in
+  ignore (Kernel.map_code k rogue clean_code);
+  Subkernel.register_client_to_server sb rogue ~server_id:sid;
+  let vs = Sky_mesh.Mesh.audit mesh in
+  Alcotest.(check bool) "flow.closure" true
+    (Report.has ~invariant:"flow.closure" vs);
+  Alcotest.(check bool) "mesh.binding-outlives-cap agrees" true
+    (Report.has ~invariant:"mesh.binding-outlives-cap" vs)
+
+let test_flow_slot_escape () =
+  (* The base EPT root poked into a live VMCS EPTP slot: it IS a known
+     root (the per-structure eptp-slot check accepts it), but it is not
+     among the roots the running domain's bindings entitle it to — one
+     VMFUNC away from the identity RWX view of all of memory. *)
+  let _k, sb, _client, _server, _sid, _ = setup_full () in
+  let root = Subkernel.rootkernel sb in
+  let vmcs = root.Rootkernel.vmcses.(0) in
+  let base = Sky_mmu.Ept.root_pa root.Rootkernel.base_ept in
+  Sky_mmu.Vmcs.set_eptp vmcs ~index:3 ~eptp:base;
+  let vs = Subkernel.audit sb in
+  Alcotest.(check bool) "flow.slot-escape" true
+    (Report.has ~invariant:"flow.slot-escape" vs);
+  Alcotest.(check bool) "ept.eptp-slot alone is fooled (base is known)" false
+    (Report.has ~invariant:"ept.eptp-slot" vs)
+
+let test_revoke_unmaps_buffers () =
+  (* Differential mode: revocation must shrink the sharing graph and
+     leave no stale writable edge (the buffers are unmapped everywhere,
+     not just dropped from the registry). *)
+  let _k, sb, client, _server, sid, _ = setup_full () in
+  let before = Isoflow.graph (Subkernel.isoflow_input sb) in
+  Subkernel.revoke_binding sb ~core:0 client ~server_id:sid ~reason:"test";
+  let inp = Subkernel.isoflow_input sb in
+  let after = Isoflow.graph inp in
+  let d = Isoflow.diff ~before ~after in
+  Alcotest.(check bool) "revocation removed writable edges" true
+    (List.exists (fun e -> e.Isoflow.e_w) d.Isoflow.removed);
+  Alcotest.(check int) "differential stale count is 0" 0
+    (List.length (Isoflow.stale ~shared:inp.Isoflow.shared d));
+  let vs = Subkernel.audit sb in
+  if Report.has ~invariant:"flow.shared-writable" vs then
+    Alcotest.failf "revoked buffers left mapped:\n%s"
+      (String.concat "\n" (List.map Report.to_string vs))
+
+(* ------------------------------------------------------------------ *)
+(* Severity ordering and gadget-scan memoization                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_severity_order () =
+  let w = Report.v ~severity:Report.Warn ~invariant:"a.a" ~image:"img" "w" in
+  let e = Report.v ~invariant:"z.z" ~image:"img" "e" in
+  (match Report.sort [ w; e ] with
+  | [ first; second ] ->
+    Alcotest.(check string) "errors sort above warnings" "z.z"
+      first.Report.invariant;
+    Alcotest.(check string) "warning second" "a.a" second.Report.invariant
+  | vs -> Alcotest.failf "expected 2 violations, got %d" (List.length vs));
+  let vs = Gadget.audit (Gadget.image ~name:"data" (Bytes.of_string "\xf4\xf4")) in
+  Alcotest.(check bool) "gadget.unverifiable is a warning" true
+    (List.exists
+       (fun v ->
+         v.Report.invariant = "gadget.unverifiable"
+         && v.Report.severity = Report.Warn)
+       vs)
+
+let test_gadget_memo () =
+  Gadget.memo_reset ();
+  let img =
+    Gadget.image ~name:"memo" (encode [ Insn.Nop; Insn.Vmfunc; Insn.Ret ])
+  in
+  let v1 = Gadget.audit img in
+  let v2 = Gadget.audit img in
+  Alcotest.(check bool) "cached verdict identical" true (v1 = v2);
+  Alcotest.(check (pair int int)) "one hit, one miss" (1, 1)
+    (Gadget.memo_stats ());
+  (* Same name, different bytes: content hash changes, full rescan. *)
+  let img2 = Gadget.image ~name:"memo" (encode [ Insn.Nop; Insn.Ret ]) in
+  Alcotest.(check int) "changed content re-audits clean" 0
+    (List.length (Gadget.audit img2));
+  Alcotest.(check (pair int int)) "miss on changed content" (1, 2)
+    (Gadget.memo_stats ())
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "analysis"
@@ -409,6 +559,8 @@ let () =
             test_gadget_misaligned_vmfunc;
           Alcotest.test_case "allowed range" `Quick test_gadget_allowed_range;
           Alcotest.test_case "unverifiable bytes" `Quick test_gadget_unverifiable;
+          Alcotest.test_case "severity ordering" `Quick test_severity_order;
+          Alcotest.test_case "memoized scan" `Quick test_gadget_memo;
         ]
         @ qc [ prop_rewrite_then_audit ] );
       ( "verify",
@@ -443,5 +595,17 @@ let () =
             test_audit_corrupted_trampoline;
           Alcotest.test_case "unverifiable image refused" `Quick
             test_registration_rejects_unverifiable;
+        ] );
+      ( "isoflow",
+        [
+          Alcotest.test_case "shared-writable alias" `Quick
+            test_flow_shared_writable;
+          Alcotest.test_case "cross-domain W^X" `Quick test_flow_wx_cross;
+          Alcotest.test_case "trampoline divergence" `Quick
+            test_flow_tramp_identical;
+          Alcotest.test_case "closure without grant" `Quick test_flow_closure;
+          Alcotest.test_case "EPTP slot escape" `Quick test_flow_slot_escape;
+          Alcotest.test_case "revocation leaves no stale edge" `Quick
+            test_revoke_unmaps_buffers;
         ] );
     ]

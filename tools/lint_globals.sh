@@ -1,0 +1,34 @@
+#!/bin/sh
+# Advisory lint: inventory toplevel mutable host state in lib/.
+#
+# Isoflow audits guest-visible state (page tables, EPTs, VMCS EPTP
+# lists) but cannot see host-side OCaml globals.  Every toplevel
+# `ref`/`Hashtbl.create`/`Array.make`/`Buffer.create` in lib/ is
+# simulator state that survives across scenario builds and can leak
+# between audit runs, so we keep a visible census of them in CI.
+#
+# This step is ADVISORY: it always exits 0.  It exists so a new global
+# shows up in the CI log (and in review) rather than silently.
+set -u
+cd "$(dirname "$0")/.."
+
+# A toplevel binding is flush-left `let` (not indented, not `let%`...);
+# we flag ones whose right-hand side constructs mutable state on the
+# same line.  Heuristic by design -- false negatives are acceptable,
+# the goal is a cheap visible inventory, not a proof.
+pattern='^let [a-zA-Z_0-9]* *(: *[^=]*)?= *(ref |ref$|Hashtbl\.create|Array\.make|Array\.create|Bytes\.make|Bytes\.create|Buffer\.create|Queue\.create|Stack\.create)'
+
+echo "== toplevel mutable host state in lib/ (advisory) =="
+found=0
+for f in $(find lib -name '*.ml' | sort); do
+  hits=$(grep -nE "$pattern" "$f" || true)
+  if [ -n "$hits" ]; then
+    echo "$hits" | while IFS= read -r line; do
+      echo "$f:$line"
+    done
+    found=$((found + $(echo "$hits" | wc -l)))
+  fi
+done
+echo "== $found toplevel mutable binding(s) found =="
+echo "(advisory only; audit passes cover guest-visible state, this inventories host state)"
+exit 0
