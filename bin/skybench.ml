@@ -447,6 +447,131 @@ let perf_cmd =
   in
   Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ json $ budgets)
 
+let overload_cmd =
+  let doc =
+    "Run the overload scenario: a closed-loop probe fixes the saturation \
+     rate, then an open-loop Poisson generator offers 0.5x-2x that rate \
+     to the admission-controlled server (bounded endpoint queues shedding \
+     typed 503s, request TTLs propagated as backend timeouts, batched KV \
+     crossings, token-bucket retry budgets), re-runs the 2x point under a \
+     worker+backend+nameserv fault storm, and drives hundreds of \
+     short-lived tenant processes into EPTP-list and global-binding \
+     eviction. Writes BENCH_overload.json with --json; the JSON is \
+     byte-deterministic, so CI diffs two same-seed runs. Exit code 0 iff \
+     every offered request is accounted for with zero lost-or-corrupt \
+     admitted requests, goodput at 2x holds the budgeted fraction of \
+     saturation, p99.9 of admitted requests stays within budget, the \
+     storm was survived with clean audits, and slot-evicted tenants \
+     degraded to slowpath instead of failing."
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Sky_experiments.Exp_overload.default_seed
+      & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~doc:"skyhttpd workers.")
+  in
+  let arrivals =
+    Arg.(
+      value & opt int 1600
+      & info [ "arrivals" ] ~doc:"Open-loop arrivals per sweep point.")
+  in
+  let scale_tenants =
+    Arg.(
+      value & opt int 240
+      & info [ "scale-tenants" ]
+          ~doc:"Short-lived tenant processes in the eviction phase.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the result as JSON and write BENCH_overload.json.")
+  in
+  let budgets =
+    Arg.(
+      value
+      & opt string "bench/budgets.json"
+      & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
+  in
+  let run seed workers arrivals scale_tenants json budgets =
+    let r, host_seconds =
+      timed (fun () ->
+          Sky_experiments.Exp_overload.run_overload ~seed ~workers
+            ~total:arrivals ~scale_tenants ())
+    in
+    if json then begin
+      let j = Sky_experiments.Exp_overload.to_json r in
+      print_endline j;
+      let path = Sky_harness.Artifact.write ~name:"overload" ~host_seconds j in
+      Printf.eprintf "wrote %s (%.2fs host)\n" path host_seconds
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_overload.table r);
+    (* Structural gates (zero lost/corrupt, sheds under overload, chaos
+       survived, tenants evicted) with the built-in goodput floor ... *)
+    let floor, floor_src =
+      if Sys.file_exists budgets then
+        match
+          budget_of ~file:budgets ~section:"overload" ~key:"goodput_floor_pct"
+        with
+        | Some pct -> (float_of_int pct /. 100.0, budgets)
+        | None -> (0.5, "default")
+      else (0.5, "default")
+    in
+    if not (Sky_experiments.Exp_overload.ok ~floor r) then begin
+      Printf.eprintf
+        "overload: acceptance failed (zero_lost=%b goodput_ratio=%.3f \
+         floor=%.2f[%s] sheds=%b chaos_active=%b chaos_clean=%b \
+         tenants_evicted=%b)\n"
+        (Sky_experiments.Exp_overload.zero_lost r)
+        (Sky_experiments.Exp_overload.goodput_ratio r)
+        floor floor_src
+        (Sky_experiments.Exp_overload.overload_sheds r)
+        (Sky_experiments.Exp_overload.chaos_active r)
+        (Sky_experiments.Exp_overload.chaos_clean r)
+        (Sky_experiments.Exp_overload.tenants_evicted r);
+      exit 1
+    end;
+    (* ... and the p99.9 regression budget on admitted requests at 2x. *)
+    (if Sys.file_exists budgets then
+       match budget_of ~file:budgets ~section:"overload" ~key:"p999_cycles" with
+       | None ->
+         Printf.eprintf "overload: no overload.p999_cycles budget in %s\n"
+           budgets;
+         exit 1
+       | Some budget ->
+         let p999 =
+           match
+             List.find_opt
+               (fun p -> p.Sky_experiments.Exp_overload.p_mult = 2.0)
+               r.Sky_experiments.Exp_overload.r_points
+           with
+           | Some p -> p.Sky_experiments.Exp_overload.p_p999
+           | None -> max_int
+         in
+         let limit = budget * 102 / 100 in
+         if p999 > limit then begin
+           Printf.eprintf
+             "overload: REGRESSION: p99.9 %d cycles exceeds budget %d (+2%% \
+              = %d)\n"
+             p999 budget limit;
+           exit 1
+         end
+         else
+           Printf.eprintf "overload: p99.9 %d within budget %d (+2%% = %d)\n"
+             p999 budget limit
+     else Printf.eprintf "overload: %s not found; skipping budget gate\n" budgets);
+    Printf.eprintf
+      "overload: goodput ratio %.3f >= floor %.2f; zero lost/corrupt\n"
+      (Sky_experiments.Exp_overload.goodput_ratio r)
+      floor
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      const run $ seed $ workers $ arrivals $ scale_tenants $ json $ budgets)
+
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
   let run () =
@@ -466,5 +591,5 @@ let () =
           (Cmd.info "skybench" ~doc ~version:"1.0")
           [
             list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd;
-            web_cmd; mesh_cmd; perf_cmd;
+            web_cmd; mesh_cmd; perf_cmd; overload_cmd;
           ]))

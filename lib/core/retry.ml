@@ -11,13 +11,57 @@ type stats = {
 let create_stats () =
   { attempts = 0; retried_ok = 0; degraded = 0; lost = 0; restarts = 0 }
 
+(* Finagle-style retry budget: every fresh call deposits [ratio] tokens
+   (clamped to [cap]), every retry withdraws one. Under overload most
+   calls fail, deposits dry up, and retries are refused instead of
+   multiplying the offered load — the amplification limiter. The budget
+   also owns the jitter stream: decorrelated backoff, deterministic
+   because the simulation is single-threaded. *)
+type budget = {
+  b_rng : Sky_sim.Rng.t;
+  b_ratio : float;
+  b_cap : float;
+  mutable b_tokens : float;
+  mutable b_withdrawn : int;
+  mutable b_refused : int;
+}
+
+let budget ?(cap = 32.0) ?(ratio = 0.2) ~seed () =
+  if ratio < 0.0 then invalid_arg "Retry.budget: ratio";
+  {
+    b_rng = Sky_sim.Rng.create ~seed:(seed lxor 0x5e77b);
+    b_ratio = ratio;
+    b_cap = cap;
+    b_tokens = cap /. 2.0;
+    b_withdrawn = 0;
+    b_refused = 0;
+  }
+
+let budget_refused b = b.b_refused
+let budget_withdrawn b = b.b_withdrawn
+
+let deposit b =
+  b.b_tokens <- Float.min b.b_cap (b.b_tokens +. b.b_ratio)
+
+let try_withdraw b =
+  if b.b_tokens >= 1.0 then begin
+    b.b_tokens <- b.b_tokens -. 1.0;
+    b.b_withdrawn <- b.b_withdrawn + 1;
+    true
+  end
+  else begin
+    b.b_refused <- b.b_refused + 1;
+    false
+  end
+
 exception Gave_up of Subkernel.call_error
 
 let bump stats f = match stats with Some s -> f s | None -> ()
 
-let call ?(max_attempts = 4) ?(backoff = 2000) ?stats ?timeout
+let call ?(max_attempts = 4) ?(backoff = 2000) ?stats ?budget ?timeout
     ?(on_crash = fun _ -> ()) sb ~core ~client ~server_id msg =
   let cpu = Kernel.cpu (Subkernel.kernel sb) ~core in
+  (match budget with Some b -> deposit b | None -> ());
   let rec go attempt =
     bump stats (fun s -> s.attempts <- s.attempts + 1);
     match Subkernel.call sb ~core ~client ~server_id ?timeout msg with
@@ -26,12 +70,22 @@ let call ?(max_attempts = 4) ?(backoff = 2000) ?stats ?timeout
       if via = `Slowpath then bump stats (fun s -> s.degraded <- s.degraded + 1);
       reply
     | Error err ->
-      if attempt + 1 >= max_attempts then begin
+      let refused =
+        match budget with Some b -> not (try_withdraw b) | None -> false
+      in
+      if attempt + 1 >= max_attempts || refused then begin
         bump stats (fun s -> s.lost <- s.lost + 1);
         raise (Gave_up err)
       end;
-      (* Exponential backoff, charged as client compute. *)
-      Sky_sim.Cpu.charge cpu (backoff lsl attempt);
+      (* Exponential backoff, charged as client compute; with a budget,
+         decorrelated jitter spreads the storm's synchronized retries. *)
+      let wait =
+        let base = backoff lsl attempt in
+        match budget with
+        | Some b -> (base / 2) + Sky_sim.Rng.int b.b_rng (Int.max 1 base)
+        | None -> base
+      in
+      Sky_sim.Cpu.charge cpu wait;
       Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.retry";
       (match err with
       | Subkernel.Crashed { server_id = sid } ->

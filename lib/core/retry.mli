@@ -16,6 +16,24 @@ type stats = {
 
 val create_stats : unit -> stats
 
+type budget
+(** A shared retry budget (token bucket): every fresh call deposits
+    [ratio] tokens, every retry withdraws one. Under overload deposits
+    dry up and retries are {e refused} — retry traffic is bounded to a
+    fraction of offered traffic, so recovery can never amplify a
+    saturation collapse. Also owns the deterministic jitter stream used
+    to decorrelate backoff. *)
+
+val budget : ?cap:float -> ?ratio:float -> seed:int -> unit -> budget
+(** [ratio] (default 0.2) = sustained retries allowed per fresh call;
+    [cap] (default 32) bounds the burst. *)
+
+val budget_refused : budget -> int
+(** Retries suppressed because the bucket was empty (each surfaces as a
+    {!Gave_up}). *)
+
+val budget_withdrawn : budget -> int
+
 exception Gave_up of Subkernel.call_error
 (** The retry budget is exhausted; carries the last typed error. *)
 
@@ -23,6 +41,7 @@ val call :
   ?max_attempts:int ->
   ?backoff:int ->
   ?stats:stats ->
+  ?budget:budget ->
   ?timeout:int ->
   ?on_crash:(int -> unit) ->
   Subkernel.t ->
@@ -33,5 +52,8 @@ val call :
   bytes
 (** [call sb ~core ~client ~server_id msg] with up to [max_attempts]
     (default 4) attempts, charging [backoff lsl attempt] cycles (default
-    base 2000) between attempts. [on_crash sid] runs after a crashed
-    server [sid] has been restarted (e.g. to remount a file system). *)
+    base 2000) between attempts; with a [budget], each retry must also
+    withdraw a token (else the call gives up immediately) and the
+    backoff is decorrelated-jittered from the budget's seeded stream.
+    [on_crash sid] runs after a crashed server [sid] has been restarted
+    (e.g. to remount a file system). *)

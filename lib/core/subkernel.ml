@@ -55,6 +55,7 @@ type pstate = {
   mutable bindings : binding list;
   mutable installed : binding list;  (** subset currently in the EPTP list *)
   mutable revoked : int list;  (** server ids whose binding was revoked *)
+  mutable p_evictions : int;  (** EPTP-slot LRU evictions in this process *)
 }
 
 type t = {
@@ -66,6 +67,11 @@ type t = {
   mutable next_server_id : int;
   mutable next_buffer_va : int;
   max_eptp : int;
+  max_bindings : int;  (** global fast-path binding budget *)
+  mutable live_bindings : int;
+  mutable slot_evictions : int;
+      (** bindings retired to reclaim a fast-path slot — the victims
+          degrade to slowpath IPC, they are not failed *)
   stats : Breakdown.t;
   mutable calls : int;
   mutable evictions : int;
@@ -98,6 +104,8 @@ let kernel t = t.kernel
 let stats t = t.stats
 let calls t = t.calls
 let evictions t = t.evictions
+let slot_evictions t = t.slot_evictions
+let live_bindings t = t.live_bindings
 let trampoline_code t = t.trampoline_bytes
 let trampoline_va = Layout.trampoline_va
 let key_table_va = Layout.identity_page_va + 4096
@@ -127,6 +135,19 @@ let call_state t ~core =
   match t.call_stack.(core) with [] -> None | frame :: _ -> Some frame
 
 let pstate_opt t proc = Hashtbl.find_opt t.pstates proc.Proc.pid
+
+let process_evictions t proc =
+  match pstate_opt t proc with Some ps -> ps.p_evictions | None -> 0
+
+(* Server ids currently occupying EPTP-list slots for [proc] (revoked
+   slots degenerate to the process's own EPT and are skipped). *)
+let installed_servers t proc =
+  match pstate_opt t proc with
+  | Some ps ->
+    List.filter_map
+      (fun b -> if b.b_server_id >= 0 then Some b.b_server_id else None)
+      ps.installed
+  | None -> []
 
 let on_binding_change t f = t.binding_hooks <- f :: t.binding_hooks
 
@@ -160,7 +181,8 @@ let install_for t ~core proc =
       Rootkernel.install_eptp_list t.root ~core [ base ]
 
 let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
-    ?(seed = 0x5b1d) kernel =
+    ?(max_bindings = max_int) ?(seed = 0x5b1d) kernel =
+  if max_bindings < 1 then invalid_arg "Subkernel.init: max_bindings";
   let root = Rootkernel.boot ~vpid ~huge_ept kernel in
   let trampoline_bytes = Trampoline.code () in
   let trampoline_frame = Frame_alloc.alloc_frame (Kernel.alloc kernel) in
@@ -175,6 +197,9 @@ let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
       next_server_id = 1;
       next_buffer_va = Layout.skybridge_buffer_va;
       max_eptp;
+      max_bindings;
+      live_bindings = 0;
+      slot_evictions = 0;
       stats = Breakdown.create ();
       calls = 0;
       evictions = 0;
@@ -290,6 +315,7 @@ let ensure_pstate t proc =
         bindings = [];
         installed = [];
         revoked = [];
+        p_evictions = 0;
       }
     in
     Hashtbl.replace t.pstates proc.Proc.pid ps;
@@ -458,6 +484,7 @@ let bind_one t ps ~server_id ~key ~share_with =
       last_use = 0 }
   in
   ps.bindings <- ps.bindings @ [ b ];
+  t.live_bindings <- t.live_bindings + 1;
   if List.length ps.installed + 1 < t.max_eptp then
     ps.installed <- ps.installed @ [ b ];
   b
@@ -470,7 +497,10 @@ let key_for t proc ~server_id =
     List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings
     |> Option.map (fun b -> b.server_key)
 
-let register_client_to_server t proc ~server_id =
+(* The raw registration; the public [register_client_to_server] below
+   first enforces the global fast-path binding budget (it needs
+   [revoke_binding], defined later). *)
+let register_client_unbudgeted t proc ~server_id =
   let ps = ensure_pstate t proc in
   if List.exists (fun b -> b.b_server_id = server_id) ps.bindings then ()
   else begin
@@ -613,6 +643,7 @@ let revoke_binding ?(orphan = true) t ~core proc ~server_id ~reason =
     | None -> ()
     | Some b ->
       ps.bindings <- List.filter (fun x -> x != b) ps.bindings;
+      t.live_bindings <- t.live_bindings - 1;
       ps.installed <-
         List.map (fun x -> if x == b then dummy_binding ps else x) ps.installed;
       if not (List.mem server_id ps.revoked) then
@@ -649,6 +680,71 @@ let revoke_binding ?(orphan = true) t ~core proc ~server_id ~reason =
            server_id reason);
       Sky_trace.Trace.instant ~core ~cat:"recovery" "recovery.revoke";
       fire_binding_change t ~server_id)
+
+(* ---- global fast-path binding budget (tenant-scale slot recycling) ----
+
+   With hundreds–thousands of short-lived tenant clients the bounded
+   resource is not just each process's EPTP list but the Subkernel's
+   total fast-path footprint (binding EPTs, shared buffers, calling-key
+   slots). [max_bindings] caps the number of live bindings; when a new
+   registration would exceed it, the least-recently-calling {e process}
+   (excluding the one registering) has its whole fast-path presence
+   retired — [revoke_binding ~orphan:false] per binding, so its future
+   calls transparently degrade to the kernel-mediated slowpath (counted
+   in [degraded_calls]) instead of failing. Recycled tenants that come
+   back re-register and evict someone else: slots circulate by LRU. *)
+
+(* Victim = the registered process whose most recent call through any of
+   its bindings is oldest; ties break on pid so the choice (and thus the
+   whole run) stays deterministic. *)
+let slot_victim t ~except_pid =
+  let best = ref None in
+  Hashtbl.iter
+    (fun pid ps ->
+      if pid <> except_pid && ps.bindings <> [] then begin
+        let recent =
+          List.fold_left (fun a b -> Int.max a b.last_use) 0 ps.bindings
+        in
+        match !best with
+        | Some (r, p, _) when (r, p) <= (recent, pid) -> ()
+        | _ -> best := Some (recent, pid, ps)
+      end)
+    t.pstates;
+  match !best with Some (_, _, ps) -> Some ps | None -> None
+
+let enforce_binding_budget t ps ~incoming =
+  let rec go () =
+    if t.live_bindings + incoming > t.max_bindings then
+      match slot_victim t ~except_pid:ps.proc.Proc.pid with
+      | None -> ()  (* only the registering process holds bindings *)
+      | Some victim ->
+        let sids = List.map (fun b -> b.b_server_id) victim.bindings in
+        List.iter
+          (fun sid ->
+            t.slot_evictions <- t.slot_evictions + 1;
+            revoke_binding ~orphan:false t ~core:0 victim.proc ~server_id:sid
+              ~reason:"fast-path binding budget: LRU slots recycled")
+          sids;
+        go ()
+  in
+  go ()
+
+let register_client_to_server t proc ~server_id =
+  (if t.max_bindings <> max_int then
+     let ps = ensure_pstate t proc in
+     if not (List.exists (fun b -> b.b_server_id = server_id) ps.bindings)
+     then begin
+       let closure = dep_closure t server_id |> List.sort_uniq compare in
+       let incoming =
+         List.length
+           (List.filter
+              (fun sid ->
+                not (List.exists (fun b -> b.b_server_id = sid) ps.bindings))
+              closure)
+       in
+       enforce_binding_budget t ps ~incoming
+     end);
+  register_client_unbudgeted t proc ~server_id
 
 let server_dead t server_id = List.mem server_id t.dead_servers
 
@@ -745,7 +841,8 @@ let ensure_installed t ~core ps b =
     | Some v when List.length ps.installed + 1 >= t.max_eptp ->
       ps.installed <-
         List.map (fun x -> if x == v then b else x) ps.installed;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      ps.p_evictions <- ps.p_evictions + 1
     | _ -> ps.installed <- ps.installed @ [ b ]);
     Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps);
     vmcs.Vmcs.current_index <- saved_index;

@@ -41,13 +41,19 @@ val init :
   ?vpid:bool ->
   ?huge_ept:bool ->
   ?max_eptp:int ->
+  ?max_bindings:int ->
   ?seed:int ->
   Sky_ukernel.Kernel.t ->
   t
 (** Boots the Rootkernel under the given kernel (the one line of Subkernel
     boot code, §3.2) and hooks context switches to install EPTP lists.
     [max_eptp] (default 512) bounds the per-process EPTP list; binding
-    more servers than fit triggers the LRU-eviction extension (§10). *)
+    more servers than fit triggers the LRU-eviction extension (§10).
+    [max_bindings] (default unlimited) caps the {e global} number of live
+    fast-path bindings: exceeding it retires the least-recently-calling
+    process's bindings permanently ([revoke_binding ~orphan:false]), so
+    slot-evicted tenants degrade to slowpath IPC instead of failing —
+    the tenant-scale recycling story. *)
 
 val rootkernel : t -> Rootkernel.t
 val kernel : t -> Sky_ukernel.Kernel.t
@@ -56,7 +62,23 @@ val stats : t -> Sky_kernels.Breakdown.t
 (** Accumulated direct-call cycle breakdown (for Figure 7). *)
 
 val calls : t -> int
+
 val evictions : t -> int
+(** Per-process EPTP-list LRU evictions, totalled across processes. *)
+
+val process_evictions : t -> Sky_ukernel.Proc.t -> int
+(** EPTP-list LRU evictions charged to one process ([0] if it is not
+    registered). *)
+
+val installed_servers : t -> Sky_ukernel.Proc.t -> int list
+(** Server ids currently holding EPTP-list slots for the process, in
+    slot order (revoked/degenerate slots omitted). *)
+
+val slot_evictions : t -> int
+(** Bindings permanently retired by the global [max_bindings] budget —
+    each victim process degrades to slowpath IPC rather than failing. *)
+
+val live_bindings : t -> int
 
 val security_events : t -> string list
 (** Newest-first contents of the bounded security-event ring (capacity

@@ -167,6 +167,7 @@ let run_mesh ?(seed = default_seed) ?(conns = 24) ?(requests_per_conn = 8)
       ~rebind:(fun ~core ->
         ignore core;
         Mesh.resume_client mesh w_proc)
+      ()
   in
   (* No preload and no static-file cache: every Fs_get takes the
      capability-checked backend path, so revocation is actually felt. *)

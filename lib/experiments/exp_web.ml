@@ -26,6 +26,8 @@ type side = {
   v_responses : int;
   v_errors : int;
   v_elapsed : int;
+  v_evictions : int;  (** EPTP-list LRU evictions, all worker processes *)
+  v_worker_evictions : int list;  (** per worker process, core order *)
 }
 
 type point = { p_workers : int; p_sky : side; p_ipc : side }
@@ -42,6 +44,14 @@ type result = {
 let side_of t =
   let lg = Web.loadgen t in
   let h = Loadgen.latencies lg in
+  let worker_evictions =
+    match Web.subkernel t with
+    | None -> List.map (fun _ -> 0) (Array.to_list (Web.worker_procs t))
+    | Some sb ->
+      List.map
+        (fun p -> Sky_core.Subkernel.process_evictions sb p)
+        (Array.to_list (Web.worker_procs t))
+  in
   let open Sky_trace.Histogram in
   {
     v_tput = Web.throughput t;
@@ -51,6 +61,8 @@ let side_of t =
     v_responses = Loadgen.responses lg;
     v_errors = Loadgen.errors lg;
     v_elapsed = Web.elapsed t;
+    v_evictions = List.fold_left ( + ) 0 worker_evictions;
+    v_worker_evictions = worker_evictions;
   }
 
 let measure ~variant ~seed ~cores ~conns ~requests_per_conn ~workers transport =
@@ -145,6 +157,8 @@ let to_json r =
         ("responses", Int v.v_responses);
         ("errors", Int v.v_errors);
         ("elapsed_cycles", Int v.v_elapsed);
+        ("evictions", Int v.v_evictions);
+        ("worker_evictions", List (List.map (fun n -> Int n) v.v_worker_evictions));
       ]
   in
   to_string

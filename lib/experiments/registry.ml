@@ -46,6 +46,9 @@ let all =
     { id = "pingpong";
       title = "Pingpong: direct-call cycles under TLB pressure, accel on/off";
       run = Exp_pingpong.run };
+    { id = "overload";
+      title = "Overload: open-loop load, admission control, chaos at saturation";
+      run = Exp_overload.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

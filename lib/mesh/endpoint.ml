@@ -10,22 +10,29 @@ type 'a t = {
   kernel : Kernel.t;
   note : Notification.t;
   queues : 'a Queue.t array;
+  capacity : int option;  (** per-receiver queue bound; [None] = unbounded *)
   mutable rr : int;  (** deterministic round-robin push cursor *)
   mutable pushed : int;
   mutable popped : int;
   mutable steals : int;
+  mutable rejected : int;  (** {!try_push} refusals against [capacity] *)
 }
 
-let create kernel ~name ~receivers =
+let create ?capacity kernel ~name ~receivers =
   if receivers < 1 then invalid_arg "Endpoint.create: no receivers";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Endpoint.create: capacity"
+  | _ -> ());
   {
     kernel;
     note = Notification.create kernel ~name;
     queues = Array.init receivers (fun _ -> Queue.create ());
+    capacity;
     rr = 0;
     pushed = 0;
     popped = 0;
     steals = 0;
+    rejected = 0;
   }
 
 let receivers t = Array.length t.queues
@@ -35,20 +42,40 @@ let pending t = Array.fold_left (fun a q -> a + Queue.length q) 0 t.queues
 let pushed t = t.pushed
 let popped t = t.popped
 let steals t = t.steals
+let rejected t = t.rejected
+let capacity t = t.capacity
 
-let push t ~core ?receiver item =
-  let recv =
-    match receiver with
-    | Some r -> r mod Array.length t.queues
-    | None ->
-      let r = t.rr in
-      t.rr <- (t.rr + 1) mod Array.length t.queues;
-      r
-  in
+let pick_receiver t receiver =
+  match receiver with
+  | Some r -> r mod Array.length t.queues
+  | None ->
+    let r = t.rr in
+    t.rr <- (t.rr + 1) mod Array.length t.queues;
+    r
+
+let enqueue t ~core recv item =
   Queue.add item t.queues.(recv);
   t.pushed <- t.pushed + 1;
   Cpu.charge (Kernel.cpu t.kernel ~core) push_cycles;
   Notification.signal t.note ~core ~badge:(1 lsl recv)
+
+let push t ~core ?receiver item = enqueue t ~core (pick_receiver t receiver) item
+
+(* Admission-controlled enqueue: against the configured bound the length
+   check happens before the round-robin cursor moves, so a rejected push
+   leaves the cursor (and thus the deterministic schedule) untouched. *)
+let try_push t ~core ?receiver item =
+  let target =
+    match receiver with Some r -> r mod Array.length t.queues | None -> t.rr
+  in
+  match t.capacity with
+  | Some cap when Queue.length t.queues.(target) >= cap ->
+    t.rejected <- t.rejected + 1;
+    Cpu.charge (Kernel.cpu t.kernel ~core) push_cycles;
+    false
+  | _ ->
+    enqueue t ~core (pick_receiver t receiver) item;
+    true
 
 (* Steal source: the longest peer queue, ties to the lowest index — a
    pure function of queue contents, so the schedule stays deterministic. *)

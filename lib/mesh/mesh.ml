@@ -61,6 +61,7 @@ type t = {
   mutable grants : grant list;  (** newest first; order never observed *)
   suspended : (int, int list) Hashtbl.t;  (** pid -> sids parked by suspend *)
   rstats : Retry.stats;
+  rbudget : Retry.budget option;  (** retry budget for routed calls *)
   mutable resolves : int;  (** wire round trips to the name service *)
   mutable cache_hits : int;
   mutable denials : int;
@@ -176,7 +177,7 @@ let connect t client =
 
 (* ---- construction ---- *)
 
-let create ?(seed = 0) sb =
+let create ?(seed = 0) ?retry_budget sb =
   ignore seed;
   let kernel = Subkernel.kernel sb in
   let cores = Machine.n_cores kernel.Kernel.machine in
@@ -197,6 +198,7 @@ let create ?(seed = 0) sb =
       grants = [];
       suspended = Hashtbl.create 4;
       rstats = Retry.create_stats ();
+      rbudget = retry_budget;
       resolves = 0;
       cache_hits = 0;
       denials = 0;
@@ -330,7 +332,7 @@ let resume_client t client =
 
 (* ---- the routed call ---- *)
 
-let call t ~core ~client ?on_crash uri msg =
+let call t ~core ~client ?on_crash ?timeout uri msg =
   let pid = client.Proc.pid in
   match resolve t ~core ~client uri with
   | None -> Error (`Unresolved uri)
@@ -342,12 +344,15 @@ let call t ~core ~client ?on_crash uri msg =
       Error (`Denied uri)
     end
     else
-      match Retry.call ~stats:t.rstats ?on_crash t.sb ~core ~client ~server_id:sid msg with
+      match
+        Retry.call ~stats:t.rstats ?budget:t.rbudget ?timeout ?on_crash t.sb
+          ~core ~client ~server_id:sid msg
+      with
       | reply -> Ok reply
       | exception Retry.Gave_up e -> Error (`Failed e))
 
-let call_exn t ~core ~client ?on_crash uri msg =
-  match call t ~core ~client ?on_crash uri msg with
+let call_exn t ~core ~client ?on_crash ?timeout uri msg =
+  match call t ~core ~client ?on_crash ?timeout uri msg with
   | Ok reply -> reply
   | Error (`Unresolved u) -> raise (Unknown_service u)
   | Error (`Denied u) -> raise (Denied { uri = u; pid = client.Proc.pid })

@@ -35,11 +35,14 @@ exception Denied of { uri : string; pid : int }
 
 val fault_site : string
 
-val create : ?seed:int -> Sky_core.Subkernel.t -> t
+val create : ?seed:int -> ?retry_budget:Sky_core.Retry.budget -> Sky_core.Subkernel.t -> t
 (** Spawns and registers the ["nameserv"] server (one connection per
     core) and the mesh's privileged ["meshd"] admin client, and
     subscribes to {!Sky_core.Subkernel.on_binding_change} so crash /
-    revoke / rebind / restart all refresh the resolution caches. *)
+    revoke / rebind / restart all refresh the resolution caches.
+    [retry_budget] (none by default) is applied to every routed
+    {!call} so recovery retries cannot amplify overload; name-service
+    admin traffic is never budgeted. *)
 
 val connect : t -> Sky_ukernel.Proc.t -> unit
 (** Bind [client] to the name service (deriving it a resolve
@@ -106,12 +109,15 @@ val call :
   core:int ->
   client:Sky_ukernel.Proc.t ->
   ?on_crash:(int -> unit) ->
+  ?timeout:int ->
   string ->
   bytes ->
   (bytes, error) result
 (** The routed call: resolve the URI, check the client holds a live
     send capability on the target (charging the check), then
-    {!Sky_core.Retry.call}. [`Denied] is the least-privilege outcome —
+    {!Sky_core.Retry.call} (under the mesh's retry budget, if any).
+    [timeout] caps each attempt's server cycles — the deadline-
+    propagation hook. [`Denied] is the least-privilege outcome —
     the client keeps running, the call never reaches the server. *)
 
 val call_exn :
@@ -119,6 +125,7 @@ val call_exn :
   core:int ->
   client:Sky_ukernel.Proc.t ->
   ?on_crash:(int -> unit) ->
+  ?timeout:int ->
   string ->
   bytes ->
   bytes

@@ -80,3 +80,29 @@ let ok body = { status = 200; body }
 let not_found = { status = 404; body = Bytes.empty }
 let bad_request = { status = 400; body = Bytes.empty }
 let server_error = { status = 500; body = Bytes.empty }
+let service_unavailable = { status = 503; body = Bytes.empty }
+let forbidden = { status = 403; body = Bytes.empty }
+
+(* ---- deadline propagation ---- *)
+
+(* A request may carry a relative deadline as a [TTL<cycles> ] prefix —
+   serialized only when the client sets one, so the plain wire format
+   (and every existing trace) is unchanged. The server strips the prefix
+   before parsing and converts the TTL to an absolute deadline against
+   the request's arrival time. *)
+
+let with_ttl ~ttl payload =
+  if ttl <= 0 then invalid_arg "Http.with_ttl";
+  Bytes.cat (Bytes.of_string (Printf.sprintf "TTL%d " ttl)) payload
+
+let split_ttl payload =
+  let s = Bytes.to_string payload in
+  if not (prefix "TTL" s) then (None, payload)
+  else
+    match String.index_opt s ' ' with
+    | None -> (None, payload)
+    | Some sp -> (
+      match int_of_string_opt (String.sub s 3 (sp - 3)) with
+      | Some ttl when ttl > 0 ->
+        (Some ttl, Bytes.sub payload (sp + 1) (Bytes.length payload - sp - 1))
+      | _ -> (None, payload))

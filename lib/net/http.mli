@@ -21,3 +21,17 @@ val ok : bytes -> response
 val not_found : response
 val bad_request : response
 val server_error : response
+
+val service_unavailable : response
+(** 503 — the typed load-shed rejection (queue full, deadline blown). *)
+
+val forbidden : response
+(** 403 — the request's capability was denied by every receiver. *)
+
+val with_ttl : ttl:int -> bytes -> bytes
+(** Prefix a serialized request with a relative deadline ([TTL<cycles> ]).
+    Requests without the prefix are wire-identical to the old format. *)
+
+val split_ttl : bytes -> int option * bytes
+(** Strip the TTL prefix, if any, returning the relative deadline and
+    the bare request payload. *)

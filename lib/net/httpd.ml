@@ -16,6 +16,20 @@
     (URI-addressed through the mesh in the composed scenarios), each
     baseline kernel's synchronous IPC on the slowpath variant.
 
+    {b Admission control} (the overload story): an {!admission} config
+    bounds the endpoint's per-receiver queues — a demultiplexed request
+    that finds its target queue full is {e shed} with a typed 503 before
+    it costs anything but the parse of its envelope. Requests may carry
+    a TTL ([Http.with_ttl]); the ring owner stamps an absolute deadline
+    at demux time, a request that expires while queued is shed on pop,
+    and the live deadline is exported ({!current_deadline}) so the
+    worker→backend hop can propagate the remaining budget as a call
+    timeout. When [a_batch_max > 1] a worker drains up to that many
+    requests per quantum and carries all their KV operations to the
+    backend in {e one} SkyBridge crossing ({!binding.kv_batch}),
+    amortizing the per-call overhead exactly when queues are deep —
+    replies stay in pop order, so per-connection ordering is preserved.
+
     Worker scheduling is wired through {!Sky_kernels.Scheduler} (Benno):
     the per-core run queue holds the worker thread exactly while it has
     work, so IRQ wakeups and idle blocking charge the real O(1) queue
@@ -23,16 +37,18 @@
 
     Fault site ["server.httpd"]: a [Crash] kills the worker mid-request
     (the §7 story applied to the application tier). The in-flight
-    request is parked, the worker's server bindings are revoked, and the
-    supervisor restarts it after {!restart_cycles}, re-binding
-    (PR 3 machinery) and replaying the parked request — no request is
+    requests are parked, the worker's server bindings are revoked, and
+    the supervisor restarts it after {!restart_cycles}, re-binding
+    (PR 3 machinery) and replaying the parked requests — no request is
     ever lost. [Hang] burns cycles past the watchdog budget, surfacing
     as a tail-latency spike.
 
     A binding may raise {!Denied} (its capability was revoked — the
     mesh's least-privilege path): the worker survives, counts the
-    denial, and hands the request to the next receiver on the endpoint,
-    so the request is still served by a worker that kept the privilege. *)
+    denial, and hands the request to the next receiver on the endpoint.
+    Each request carries a bitmask of the workers that denied it; once
+    {e every} worker has bounced it, the request terminates with a typed
+    403 instead of cycling between receivers forever. *)
 
 open Sky_sim
 open Sky_ukernel
@@ -56,18 +72,44 @@ let denial_backoff_cycles = 4_000
    bounced faster than the privileged peer can wake, and a single fs://
    request ping-pongs dozens of times before being served. *)
 
+(* One KV operation / reply of a batched worker→backend crossing. *)
+type kv_op = Op_put of string * bytes | Op_get of string
+type kv_reply = R_stored of bool | R_value of bytes option
+
 (* Typed backend bindings, one set per worker. The closures capture the
    worker's process and transport (SkyBridge direct calls — possibly
    URI-routed through the mesh — or baseline kernel IPC);
    [revoke]/[rebind] tear down and re-establish the worker's server
-   bindings around a crash. *)
+   bindings around a crash. [kv_batch], when present, carries a whole
+   list of KV operations in one backend crossing. *)
 type binding = {
   kv_put : core:int -> key:string -> value:bytes -> bool;
   kv_get : core:int -> key:string -> bytes option;
   fs_read : core:int -> name:string -> bytes option;
+  kv_batch : (core:int -> kv_op list -> kv_reply list) option;
   revoke : core:int -> unit;
   rebind : core:int -> unit;
 }
+
+(* A demultiplexed request riding the endpoint: the deadline is absolute
+   (stamped by the ring owner), the denied mask accumulates the workers
+   that bounced it so denial-by-all terminates instead of looping. *)
+type req = {
+  rq_conn : Socket.conn;
+  rq_payload : bytes;
+  rq_deadline : int option;
+  mutable rq_denied : int;
+}
+
+type admission = {
+  a_queue_cap : int option;
+      (** per-receiver endpoint queue bound; [None] = unbounded *)
+  a_default_ttl : int option;
+      (** deadline (cycles from demux) stamped on TTL-less requests *)
+  a_batch_max : int;  (** max requests drained per worker quantum *)
+}
+
+let no_admission = { a_queue_cap = None; a_default_ttl = None; a_batch_max = 1 }
 
 type worker_state =
   | Running
@@ -85,8 +127,8 @@ type worker = {
           big-locked FS would otherwise convoy every worker, §8.1);
           wiped when the worker crashes, like any process-local state *)
   mutable w_state : worker_state;
-  mutable w_inflight : (Socket.conn * bytes) option;
-      (** request being served when the worker crashed — replayed *)
+  mutable w_inflight : req list;
+      (** requests being served when the worker crashed — replayed *)
   mutable w_served : int;
   mutable w_restarts : int;
   mutable w_hangs : int;
@@ -101,12 +143,24 @@ type t = {
   nic : Nic.t;
   socks : Socket.t;
   workers : worker array;
-  ep : (Socket.conn * bytes) Endpoint.t;
+  ep : req Endpoint.t;
       (** the routing mechanism: every parsed request goes through here *)
   file_cache : bool;
+  admission : admission;
+  deadlines : int option array;
+      (** per-core live deadline while a request is dispatched — what the
+          binding's deadline-propagation wrapper reads *)
+  wire_hint : unit -> int option;
+      (** next known future wire event beyond the rings (an open-loop
+          generator's next arrival) — lets idle workers sleep to it *)
   queue_done : queue:int -> bool;
   mutable served : int;
   mutable bad_requests : int;
+  mutable shed_queue : int;
+  mutable shed_expired : int;
+  mutable unservable : int;
+  mutable batches : int;
+  mutable batched_ops : int;
 }
 
 let fault_site = "server.httpd"
@@ -114,16 +168,24 @@ let fault_site = "server.httpd"
 exception Worker_crashed
 exception Denied
 
-let create ?(preload = []) ?(file_cache = true) kernel nic ~workers:procs
-    ~queue_done =
+exception Expired
+(** Raised by a deadline-aware binding when the request's remaining
+    budget is gone: the request is shed with a 503, not an error. *)
+
+let create ?(preload = []) ?(file_cache = true) ?(admission = no_admission)
+    ?(wire_hint = fun () -> None) kernel nic ~workers:procs ~queue_done =
   let n = Array.length procs in
   if n = 0 then invalid_arg "Httpd.create: no workers";
   if Nic.n_queues nic > n then
     invalid_arg "Httpd.create: fewer workers than queues";
   if n > Machine.n_cores kernel.Kernel.machine then
     invalid_arg "Httpd.create: more workers than cores";
+  if admission.a_batch_max < 1 then invalid_arg "Httpd.create: batch_max";
   let socks = Socket.create kernel nic in
-  let ep = Endpoint.create kernel ~name:"httpd-endpoint" ~receivers:n in
+  let ep =
+    Endpoint.create ?capacity:admission.a_queue_cap kernel
+      ~name:"httpd-endpoint" ~receivers:n
+  in
   let workers =
     Array.init n (fun i ->
         let proc, binding = procs.(i) in
@@ -143,7 +205,7 @@ let create ?(preload = []) ?(file_cache = true) kernel nic ~workers:procs
           w_text_pa = text_pa;
           w_cache = Hashtbl.create 16;
           w_state = Running;
-          w_inflight = None;
+          w_inflight = [];
           w_served = 0;
           w_restarts = 0;
           w_hangs = 0;
@@ -160,9 +222,17 @@ let create ?(preload = []) ?(file_cache = true) kernel nic ~workers:procs
       workers;
       ep;
       file_cache;
+      admission;
+      deadlines = Array.make n None;
+      wire_hint;
       queue_done;
       served = 0;
       bad_requests = 0;
+      shed_queue = 0;
+      shed_expired = 0;
+      unservable = 0;
+      batches = 0;
+      batched_ops = 0;
     }
   in
   (* Boot: each worker preloads the static assets named in [preload]
@@ -203,6 +273,13 @@ let fs_cold t = Array.fold_left (fun a w -> a + w.w_fs_cold) 0 t.workers
 let worker_served t i = t.workers.(i).w_served
 let steals t = Endpoint.steals t.ep
 let endpoint t = t.ep
+let shed_queue t = t.shed_queue
+let shed_expired t = t.shed_expired
+let shed t = t.shed_queue + t.shed_expired
+let unservable t = t.unservable
+let batches t = t.batches
+let batched_ops t = t.batched_ops
+let current_deadline t ~core = t.deadlines.(core)
 
 (* ---- request handling ---- *)
 
@@ -214,16 +291,66 @@ let check_fault t w =
     Kernel.user_compute t.kernel ~core:w.w_core ~cycles:hang_cycles
   | Some (Fault.Drop | Fault.Revoke | Fault.Ept_fault) | None -> ()
 
-let dispatch t w req =
+let respond t ~core conn response =
+  let cpu = Kernel.cpu t.kernel ~core in
+  let wire = Http.serialize_response response in
+  Cpu.charge cpu (respond_base + (respond_per_byte * Bytes.length wire));
+  Socket.reply t.socks conn ~core wire
+
+(* Shed one request with the typed 503: the load-shedding outcome the
+   client's retry policy treats as backpressure, never as data loss. *)
+let shed_reply t ~core ~counter r =
+  (match counter with
+  | `Queue -> t.shed_queue <- t.shed_queue + 1
+  | `Expired -> t.shed_expired <- t.shed_expired + 1);
+  Sky_trace.Trace.instant ~core ~cat:"web"
+    (match counter with
+    | `Queue -> "web.shed-queue"
+    | `Expired -> "web.shed-expired");
+  respond t ~core r.rq_conn Http.service_unavailable
+
+(* A binding raised [Denied]: record this worker in the request's mask.
+   If every worker has now denied it, no receiver can ever serve it —
+   terminate with a typed 403 (the counted-error outcome) instead of
+   bouncing forever; otherwise hand it to the next receiver and back
+   off the endpoint so the privileged peer drains it first. *)
+let deny t w r =
   let core = w.w_core in
-  match req with
+  let n = Array.length t.workers in
+  w.w_denied <- w.w_denied + 1;
+  r.rq_denied <- r.rq_denied lor (1 lsl core);
+  if r.rq_denied = (1 lsl n) - 1 then begin
+    t.unservable <- t.unservable + 1;
+    Sky_trace.Trace.instant ~core ~cat:"web" "web.unservable";
+    respond t ~core r.rq_conn Http.forbidden
+  end
+  else begin
+    Sky_trace.Trace.instant ~core ~cat:"web" "web.denied-bounce";
+    Endpoint.push t.ep ~core ~receiver:((core + 1) mod n) r;
+    w.w_backoff <-
+      Cpu.cycles (Kernel.cpu t.kernel ~core) + denial_backoff_cycles
+  end
+
+let dispatch t w kv_replies pr =
+  let core = w.w_core in
+  let misaligned () = invalid_arg "Httpd: batch reply misaligned" in
+  match pr with
   | Http.Kv_put (key, value) ->
-    if w.w_binding.kv_put ~core ~key ~value then Http.ok (Bytes.of_string "stored")
-    else Http.server_error
+    let stored =
+      match kv_replies with
+      | Some q -> (
+        match Queue.pop q with R_stored ok -> ok | R_value _ -> misaligned ())
+      | None -> w.w_binding.kv_put ~core ~key ~value
+    in
+    if stored then Http.ok (Bytes.of_string "stored") else Http.server_error
   | Http.Kv_get key -> (
-    match w.w_binding.kv_get ~core ~key with
-    | Some v -> Http.ok v
-    | None -> Http.not_found)
+    let value =
+      match kv_replies with
+      | Some q -> (
+        match Queue.pop q with R_value v -> v | R_stored _ -> misaligned ())
+      | None -> w.w_binding.kv_get ~core ~key
+    in
+    match value with Some v -> Http.ok v | None -> Http.not_found)
   | Http.Fs_get name -> (
     match if t.file_cache then Hashtbl.find_opt w.w_cache name else None with
     | Some data ->
@@ -238,28 +365,90 @@ let dispatch t w req =
         Http.ok data
       | None -> Http.not_found))
 
-let handle t w conn payload =
+(* Serve a drained batch (singleton in the un-batched default). The
+   crash point is before any reply, so a [Worker_crashed] escaping here
+   parks the whole batch; everything after replies request by request,
+   in pop order — per-connection response ordering is preserved. *)
+let handle_batch t w reqs =
   let core = w.w_core in
   let cpu = Kernel.cpu t.kernel ~core in
   Sky_trace.Trace.span ~core ~cat:"web" "web.serve" (fun () ->
       (* The crash point: mid-request, after the packet left the ring. *)
       check_fault t w;
       Memsys.touch_range_state_only cpu Memsys.Insn ~pa:w.w_text_pa ~len:worker_text;
-      Cpu.charge cpu (parse_base + (parse_per_byte * Bytes.length payload));
-      let response =
-        match Http.parse_request payload with
-        | req -> dispatch t w req
-        | exception Http.Bad_request _ ->
-          t.bad_requests <- t.bad_requests + 1;
-          Http.bad_request
+      let parsed =
+        List.map
+          (fun r ->
+            Cpu.charge cpu (parse_base + (parse_per_byte * Bytes.length r.rq_payload));
+            match Http.parse_request r.rq_payload with
+            | pr -> (r, Some pr)
+            | exception Http.Bad_request _ ->
+              t.bad_requests <- t.bad_requests + 1;
+              (r, None))
+          reqs
       in
-      let wire = Http.serialize_response response in
-      Cpu.charge cpu (respond_base + (respond_per_byte * Bytes.length wire));
-      Socket.reply t.socks conn ~core wire;
-      w.w_served <- w.w_served + 1;
-      t.served <- t.served + 1)
+      (* Batched worker→backend hop: every KV operation of the batch in
+         one crossing, under the tightest member deadline. A [Denied] or
+         [Expired] from the batched call falls back to the individual
+         path so each request gets its own terminal outcome. *)
+      let kv_replies =
+        match w.w_binding.kv_batch with
+        | Some batch when List.length parsed > 1 -> (
+          let ops =
+            List.filter_map
+              (fun (_, pr) ->
+                match pr with
+                | Some (Http.Kv_put (key, value)) -> Some (Op_put (key, value))
+                | Some (Http.Kv_get key) -> Some (Op_get key)
+                | Some (Http.Fs_get _) | None -> None)
+              parsed
+          in
+          if List.length ops < 2 then None
+          else begin
+            t.deadlines.(core) <-
+              List.fold_left
+                (fun acc (r, _) ->
+                  match (r.rq_deadline, acc) with
+                  | None, a -> a
+                  | Some d, None -> Some d
+                  | Some d, Some a -> Some (Int.min d a))
+                None parsed;
+            match batch ~core ops with
+            | replies ->
+              t.deadlines.(core) <- None;
+              t.batches <- t.batches + 1;
+              t.batched_ops <- t.batched_ops + List.length ops;
+              let q = Queue.create () in
+              List.iter (fun rep -> Queue.add rep q) replies;
+              Some q
+            | exception (Denied | Expired) ->
+              t.deadlines.(core) <- None;
+              None
+          end)
+        | _ -> None
+      in
+      List.iter
+        (fun (r, pr) ->
+          t.deadlines.(core) <- r.rq_deadline;
+          match
+            match pr with
+            | None -> Http.bad_request
+            | Some pr -> dispatch t w kv_replies pr
+          with
+          | response ->
+            t.deadlines.(core) <- None;
+            respond t ~core r.rq_conn response;
+            w.w_served <- w.w_served + 1;
+            t.served <- t.served + 1
+          | exception Denied ->
+            t.deadlines.(core) <- None;
+            deny t w r
+          | exception Expired ->
+            t.deadlines.(core) <- None;
+            shed_reply t ~core ~counter:`Expired r)
+        parsed)
 
-(* Crash bookkeeping: park the in-flight request, revoke the worker's
+(* Crash bookkeeping: park the in-flight requests, revoke the worker's
    bindings (they are re-established on restart — the PR 3 revoke/rebind
    machinery), and schedule the restart. *)
 let crash t w ~inflight =
@@ -286,7 +475,7 @@ let restart t w =
   Scheduler.wake w.w_sched cpu w.w_thread
 
 (* The run is finished only globally: every NIC queue exhausted, the
-   endpoint drained, nobody mid-restart with a parked request. Until
+   endpoint drained, nobody mid-restart with parked requests. Until
    then an idle worker must keep stepping — stolen work can appear on
    the endpoint at any time. *)
 let finished t =
@@ -297,12 +486,9 @@ let finished t =
   && Array.for_all
        (fun w ->
          (match w.w_state with Running -> true | Dead _ -> false)
-         && w.w_inflight = None)
+         && w.w_inflight = [])
        t.workers
 
-(* Serve one request popped from the endpoint (or replayed). [Denied]
-   means this worker's capability on a backend was revoked mid-run: the
-   request is handed to the next receiver, never dropped. *)
 (* Earliest packet timestamp still sitting in any RX ring. A blocked
    worker reports it as its next-event time: with cross-core serving, a
    fast peer's replies can strand a ring owner's clock far above the
@@ -324,21 +510,28 @@ let next_wire_event t =
    overtake the stranded ring owner so the scheduler steps it again. *)
 let idle_stride_cycles = 512
 
-let serve t w conn payload =
-  match handle t w conn payload with
-  | () -> Machine.Progress
-  | exception Worker_crashed ->
-    crash t w ~inflight:(Some (conn, payload));
-    Machine.Progress
-  | exception Denied ->
-    w.w_denied <- w.w_denied + 1;
-    Sky_trace.Trace.instant ~core:w.w_core ~cat:"web" "web.denied-bounce";
-    Endpoint.push t.ep ~core:w.w_core
-      ~receiver:((w.w_core + 1) mod Array.length t.workers)
-      (conn, payload);
-    w.w_backoff <-
-      Cpu.cycles (Kernel.cpu t.kernel ~core:w.w_core) + denial_backoff_cycles;
-    Machine.Progress
+(* Serve a batch of popped (or replayed) requests: expired members are
+   shed up front, a crash parks whatever was not yet replied. *)
+let serve t w reqs =
+  let cpu = Kernel.cpu t.kernel ~core:w.w_core in
+  let now = Cpu.cycles cpu in
+  let live =
+    List.filter
+      (fun r ->
+        match r.rq_deadline with
+        | Some d when now > d ->
+          shed_reply t ~core:w.w_core ~counter:`Expired r;
+          false
+        | _ -> true)
+      reqs
+  in
+  if live = [] then Machine.Progress
+  else
+    match handle_batch t w live with
+    | () -> Machine.Progress
+    | exception Worker_crashed ->
+      crash t w ~inflight:live;
+      Machine.Progress
 
 (* ---- the per-core event loop, one quantum per call ---- *)
 
@@ -353,12 +546,12 @@ let step t ~core =
     end
     else Machine.Idle_until at
   | Running -> (
-    (* Replay a request parked by a crash before touching any queue. *)
+    (* Replay requests parked by a crash before touching any queue. *)
     match w.w_inflight with
-    | Some (conn, payload) ->
-      w.w_inflight <- None;
-      serve t w conn payload
-    | None ->
+    | _ :: _ as parked ->
+      w.w_inflight <- [];
+      serve t w parked
+    | [] ->
       let has_queue = core < Nic.n_queues t.nic in
       if not (Scheduler.runnable w.w_thread) then begin
         (* Blocked in recv: wake on a pending RX IRQ (advancing to its
@@ -387,7 +580,15 @@ let step t ~core =
         end
         else if finished t then Machine.Done
         else (
-          match next_wire_event t with
+          match
+            (* Ring events first; otherwise the generator's hint (an
+               open-loop pump's next arrival), so a fully drained fleet
+               sleeps to the next offered request instead of leapfrogging
+               one cycle at a time into the interleave deadlock guard. *)
+            match next_wire_event t with
+            | Some at -> Some at
+            | None -> t.wire_hint ()
+          with
           | Some at ->
             let now = Cpu.cycles cpu in
             Machine.Idle_until (if at > now then at else now + idle_stride_cycles)
@@ -401,8 +602,23 @@ let step t ~core =
         with
         | Some (Socket.Accepted _) -> Machine.Progress
         | Some (Socket.Request (conn, payload)) ->
-          Endpoint.push t.ep ~core (conn, payload);
-          Machine.Progress
+          (* Admission: stamp the deadline from the carried TTL (or the
+             configured default) and bounce off a full target queue with
+             a 503 before the request costs anything downstream. *)
+          let ttl, body = Http.split_ttl payload in
+          let deadline =
+            match (ttl, t.admission.a_default_ttl) with
+            | Some n, _ | None, Some n -> Some (Cpu.cycles cpu + n)
+            | None, None -> None
+          in
+          let r =
+            { rq_conn = conn; rq_payload = body; rq_deadline = deadline; rq_denied = 0 }
+          in
+          if Endpoint.try_push t.ep ~core r then Machine.Progress
+          else begin
+            shed_reply t ~core ~counter:`Queue r;
+            Machine.Progress
+          end
         | None -> (
           if Cpu.cycles cpu < w.w_backoff then
             (* Just bounced a denied request: stay off the endpoint so
@@ -410,7 +626,18 @@ let step t ~core =
             Machine.Idle_until w.w_backoff
           else
             match Endpoint.pop t.ep ~core ~recv:core with
-            | Some (conn, payload) -> serve t w conn payload
+            | Some r ->
+              (* Drain up to [a_batch_max] requests for one quantum —
+                 deep queues amortize the backend crossing, an empty
+                 queue degenerates to the classic one-at-a-time loop. *)
+              let rec more acc n =
+                if n >= t.admission.a_batch_max then List.rev acc
+                else
+                  match Endpoint.pop t.ep ~core ~recv:core with
+                  | Some r2 -> more (r2 :: acc) (n + 1)
+                  | None -> List.rev acc
+              in
+              serve t w (r :: more [] 1)
             | None ->
               (* Ring and endpoint drained: back to recv. *)
               Scheduler.block w.w_sched cpu w.w_thread;

@@ -20,11 +20,11 @@
 
 open Sky_sim
 
-type mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
+type mix = Workload.mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
 
-let default_mix = { m_kv_get = 6; m_kv_put = 2; m_fs_get = 2 }
+let default_mix = Workload.default_mix
 
-type expect =
+type expect = Workload.expect =
   | Stored
   | Value of bytes
   | File of bytes
@@ -54,36 +54,13 @@ type t = {
   mutable errors : int;
 }
 
-let value_bytes rng flow n =
-  let tag = Printf.sprintf "v%d-%d:" flow n in
-  let pad = Rng.bytes rng 32 in
-  (* printable payload so hexdumps stay readable *)
-  Bytes.iteri
-    (fun i c -> Bytes.set pad i (Char.chr (97 + (Char.code c land 15))))
-    pad;
-  Bytes.cat (Bytes.of_string tag) pad
-
-(* Pick connection [i]'s flow id so RSS steers it to queue [i mod nq] —
-   scan candidate ids (deterministically) until the hash cooperates. *)
-let place_flows nic ~conns =
-  let nq = Nic.n_queues nic in
-  let next = ref 1 in
-  Array.init conns (fun i ->
-      let target = i mod nq in
-      let rec hunt f =
-        if Nic.queue_of_flow nic f = target then begin
-          next := f + 1;
-          f
-        end
-        else hunt (f + 1)
-      in
-      hunt !next)
+let value_bytes = Workload.value_bytes
 
 let create nic ~seed ~mix ~conns ~requests_per_conn ~rtt ~files =
   if conns <= 0 then invalid_arg "Loadgen.create: conns";
   if requests_per_conn <= 0 then invalid_arg "Loadgen.create: requests_per_conn";
   let nq = Nic.n_queues nic in
-  let flow_ids = place_flows nic ~conns in
+  let flow_ids = Workload.place_flows nic ~conns in
   let remaining = Array.make nq 0 in
   let flows =
     Array.mapi
@@ -158,13 +135,7 @@ let inject t f ~at =
   Nic.deliver t.nic ~flow:f.f_flow ~seq ~payload ~at
 
 let validate t f (resp : Http.response) =
-  let good =
-    match f.f_expect with
-    | Stored -> resp.status = 200 && Bytes.to_string resp.body = "stored"
-    | Value v -> resp.status = 200 && Bytes.equal resp.body v
-    | File data -> resp.status = 200 && Bytes.equal resp.body data
-  in
-  if not good then t.errors <- t.errors + 1
+  if not (Workload.body_matches f.f_expect resp) then t.errors <- t.errors + 1
 
 (* TX-completion hook: account the response, then keep the loop closed by
    scheduling the connection's next request one RTT out. *)

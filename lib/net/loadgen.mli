@@ -7,8 +7,9 @@
     requests surface in {!errors}. Runs entirely on the wire (DMA) side:
     no simulated-core cycles are charged to the client. *)
 
-type mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
-(** Relative request-type weights. *)
+type mix = Workload.mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
+(** Relative request-type weights (shared with {!Openloop} via
+    {!Workload}). *)
 
 val default_mix : mix
 

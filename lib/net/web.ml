@@ -11,7 +11,18 @@
     calling worker's core in the server's address space, exactly as a
     direct server call (or local IPC) executes them. All worker calls go
     through {!Sky_core.Retry.call} on the SkyBridge path, so backend
-    crashes injected by the chaos experiment recover transparently. *)
+    crashes injected by the chaos experiment recover transparently.
+
+    Two front ends share the assembly:
+
+    - {!build} — the classic closed-loop stack ({!Loadgen});
+    - {!build_open} — the {b overload} stack: an {!Openloop}
+      Poisson-arrival generator driven by a dedicated wire-side pump
+      core, admission control on the server ({!Httpd.admission}),
+      request TTLs propagated as backend call timeouts, an optional
+      {!Sky_core.Retry.budget} bounding recovery retries, and a
+      per-tenant keyspace provisioned server-side so load shedding can
+      never masquerade as corruption. *)
 
 open Sky_sim
 open Sky_ukernel
@@ -49,10 +60,11 @@ type t = {
   rstats : Retry.stats option;
   fs_cell : Fs.t ref;
   kv : Kv_server.t;
+  wprocs : Proc.t array;
   mutable elapsed : int;  (** busiest worker core's cycles across {!run} *)
 }
 
-(* ---- KV wire format (the store's own 'I'/'Q' protocol) ---- *)
+(* ---- KV wire format (the store's own 'I'/'Q'/'B' protocol) ---- *)
 
 let kv_insert_msg ~key ~value =
   let kb = Bytes.of_string key in
@@ -71,19 +83,113 @@ let kv_query_msg ~key =
   Bytes.blit kb 0 b 4 (Bytes.length kb);
   b
 
+(* 'B': [count:u16] then per op 'I'[klen:u16][vlen:u16]key value or
+   'Q'[klen:u16]key — a whole request batch in one server crossing. The
+   reply mirrors it: [count:u16] then 's' (stored), 'm' (miss) or
+   'v'[len:u16]bytes per op, in order. *)
+let kv_batch_msg ops =
+  let size =
+    List.fold_left
+      (fun a op ->
+        a
+        +
+        match op with
+        | Httpd.Op_put (k, v) -> 5 + String.length k + Bytes.length v
+        | Httpd.Op_get k -> 3 + String.length k)
+      4 ops
+  in
+  let b = Bytes.create size in
+  Bytes.set b 0 'B';
+  Bytes.set b 1 '\000';
+  Bytes.set_uint16_le b 2 (List.length ops);
+  let off = ref 4 in
+  List.iter
+    (fun op ->
+      match op with
+      | Httpd.Op_put (k, v) ->
+        Bytes.set b !off 'I';
+        Bytes.set_uint16_le b (!off + 1) (String.length k);
+        Bytes.set_uint16_le b (!off + 3) (Bytes.length v);
+        Bytes.blit_string k 0 b (!off + 5) (String.length k);
+        Bytes.blit v 0 b (!off + 5 + String.length k) (Bytes.length v);
+        off := !off + 5 + String.length k + Bytes.length v
+      | Httpd.Op_get k ->
+        Bytes.set b !off 'Q';
+        Bytes.set_uint16_le b (!off + 1) (String.length k);
+        Bytes.blit_string k 0 b (!off + 3) (String.length k);
+        off := !off + 3 + String.length k)
+    ops;
+  b
+
+let kv_batch_replies resp =
+  let count = Bytes.get_uint16_le resp 0 in
+  let off = ref 2 in
+  List.init count (fun _ ->
+      match Bytes.get resp !off with
+      | 's' ->
+        incr off;
+        Httpd.R_stored true
+      | 'f' ->
+        incr off;
+        Httpd.R_stored false
+      | 'm' ->
+        incr off;
+        Httpd.R_value None
+      | 'v' ->
+        let len = Bytes.get_uint16_le resp (!off + 1) in
+        let v = Bytes.sub resp (!off + 3) len in
+        off := !off + 3 + len;
+        Httpd.R_value (Some v)
+      | c -> invalid_arg (Printf.sprintf "web kv_batch_replies: tag %c" c))
+
 let kv_handler kv kernel ~text_pa : Ipc.handler =
  fun ~core msg ->
   let cpu = Kernel.cpu kernel ~core in
   Memsys.touch_range_state_only cpu Memsys.Insn ~pa:text_pa ~len:backend_text;
-  let klen = Bytes.get_uint16_le msg 2 in
-  let key = Bytes.sub msg 4 klen in
   match Bytes.get msg 0 with
   | 'I' ->
+    let klen = Bytes.get_uint16_le msg 2 in
+    let key = Bytes.sub msg 4 klen in
     let value = Bytes.sub msg (4 + klen) (Bytes.length msg - 4 - klen) in
     Kv_server.insert kv cpu ~key ~value;
     Bytes.of_string "ok"
   | 'Q' -> (
+    let klen = Bytes.get_uint16_le msg 2 in
+    let key = Bytes.sub msg 4 klen in
     match Kv_server.query kv cpu ~key with Some v -> v | None -> Bytes.empty)
+  | 'B' ->
+    (* One crossing, many operations: the store pays per-op cache
+       footprint as usual, but the SkyBridge/IPC transit is amortized. *)
+    let count = Bytes.get_uint16_le msg 2 in
+    let off = ref 4 in
+    let parts =
+      List.init count (fun _ ->
+          match Bytes.get msg !off with
+          | 'I' ->
+            let klen = Bytes.get_uint16_le msg (!off + 1) in
+            let vlen = Bytes.get_uint16_le msg (!off + 3) in
+            let key = Bytes.sub msg (!off + 5) klen in
+            let value = Bytes.sub msg (!off + 5 + klen) vlen in
+            off := !off + 5 + klen + vlen;
+            Kv_server.insert kv cpu ~key ~value;
+            Bytes.of_string "s"
+          | 'Q' -> (
+            let klen = Bytes.get_uint16_le msg (!off + 1) in
+            let key = Bytes.sub msg (!off + 3) klen in
+            off := !off + 3 + klen;
+            match Kv_server.query kv cpu ~key with
+            | Some v ->
+              let r = Bytes.create (3 + Bytes.length v) in
+              Bytes.set r 0 'v';
+              Bytes.set_uint16_le r 1 (Bytes.length v);
+              Bytes.blit v 0 r 3 (Bytes.length v);
+              r
+            | None -> Bytes.of_string "m")
+          | c -> invalid_arg (Printf.sprintf "web kv_handler: batch op %c" c))
+    in
+    let head = Bytes.create 2 in
+    Bytes.set_uint16_le head 0 count;
+    Bytes.concat Bytes.empty (head :: parts)
   | c -> invalid_arg (Printf.sprintf "web kv_handler: opcode %c" c)
 
 (* Allocate the KV server's instruction working set and close the wire
@@ -105,7 +211,7 @@ let fs_read_of iface ~core ~name =
     let len = iface.Fs_iface.size ~core inum in
     Some (iface.Fs_iface.read ~core ~inum ~off:0 ~len)
 
-let binding_of_calls ~call_kv ~call_fs ~revoke ~rebind =
+let binding_of_calls ?(batch = false) ~call_kv ~call_fs ~revoke ~rebind () =
   let iface = Fs_iface.over_call call_fs in
   {
     Httpd.kv_put =
@@ -116,6 +222,10 @@ let binding_of_calls ~call_kv ~call_fs ~revoke ~rebind =
         let r = call_kv ~core (kv_query_msg ~key) in
         if Bytes.length r = 0 then None else Some r);
     fs_read = (fun ~core ~name -> fs_read_of iface ~core ~name);
+    kv_batch =
+      (if batch then
+         Some (fun ~core ops -> kv_batch_replies (call_kv ~core (kv_batch_msg ops)))
+       else None);
     revoke;
     rebind;
   }
@@ -137,9 +247,35 @@ let provision_files fs ~seed =
       Fs.write fs ~core:0 ~inum ~off:0 data;
       (name, data))
 
-let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
-    ?(conns = default_conns) ?(requests_per_conn = default_requests_per_conn)
-    ?(mix = Loadgen.default_mix) ?(disk_blocks = 4096) ~workers ~transport () =
+(* Per-tenant warm keyspace for the open-loop generator: GETs under
+   shedding read only these, so a shed PUT can never make a later read
+   look corrupt. *)
+let tenant_keys ~seed ~tenants ~keys_per_tenant =
+  let rng = Rng.create ~seed:(seed lxor 0x7e4a47) in
+  Array.init tenants (fun ti ->
+      Array.init keys_per_tenant (fun ki ->
+          (Printf.sprintf "t%d-p%d" ti ki, Workload.value_bytes rng (ti * 131) ki)))
+
+(* ---- shared assembly: backends + transport + worker bindings ---- *)
+
+type stack = {
+  st_machine : Machine.t;
+  st_kernel : Kernel.t;
+  st_kv : Kv_server.t;
+  st_fs_cell : Fs.t ref;
+  st_sb : Subkernel.t option;
+  st_mesh : Mesh.t option;
+  st_rstats : Retry.stats option;
+  st_worker_procs : Proc.t array;
+  st_bind : batch:bool -> Proc.t -> Httpd.binding;
+  st_deadline : (core:int -> int option) ref;
+      (** set to the httpd's {!Httpd.current_deadline} once it exists;
+          the SkyBridge bindings read it to propagate the remaining
+          request budget as a backend call timeout *)
+}
+
+let assemble ~variant ~seed ~cores ~disk_blocks ?max_eptp ?max_bindings
+    ?retry_budget ~workers ~transport () =
   if workers < 1 || workers > cores then
     invalid_arg "Web.build: workers must be in [1, cores]";
   let machine = Machine.create ~cores ~mem_mib:128 () in
@@ -154,14 +290,19 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
   let fs_proc = Kernel.spawn kernel ~name:"xv6fs" in
   let disk_proc = Kernel.spawn kernel ~name:"blockdev" in
   let worker_procs = Array.init workers (fun _ -> Kernel.spawn kernel ~name:"httpd") in
+  let deadline =
+    ref (fun ~core ->
+        ignore core;
+        None)
+  in
   let sb, mesh, rstats, fs_cell, bind =
     match transport with
     | Skybridge ->
-      let sb = Subkernel.init ~seed kernel in
+      let sb = Subkernel.init ?max_eptp ?max_bindings ~seed kernel in
       (* URI addressing through the mesh: servers register under their
          scheme, workers are granted capabilities and call by URI — no
          flat sid plumbing reaches the worker bindings. *)
-      let mesh = Mesh.create ~seed sb in
+      let mesh = Mesh.create ~seed ?retry_budget sb in
       let disk_sid =
         Subkernel.register_server sb disk_proc ~connection_count:cores
           (Disk.handler kernel ramdisk)
@@ -191,20 +332,38 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
         in
         go 3
       in
-      let bind w_proc =
+      let bind ~batch w_proc =
         ignore (Mesh.grant mesh ~core:0 ~client:w_proc "kv://");
         ignore (Mesh.grant mesh ~core:0 ~client:w_proc "fs://");
-        let call_kv ~core msg = Mesh.call_exn mesh ~core ~client:w_proc "kv://" msg in
-        let call_fs ~core msg =
-          Mesh.call_exn mesh ~core ~client:w_proc
-            ~on_crash:(fun _ -> remount ())
-            "fs://" msg
+        (* The routed call: deadline-aware (the live request's remaining
+           budget becomes the backend timeout; an exhausted budget sheds
+           as 503 via [Httpd.Expired]) and denial-aware (a revoked
+           capability bounces the request to a privileged peer via
+           [Httpd.Denied] instead of killing the worker). *)
+        let routed ?on_crash uri ~core msg =
+          let timeout =
+            match !deadline ~core with
+            | None -> None
+            | Some d ->
+              let now = Cpu.cycles (Kernel.cpu kernel ~core) in
+              if d <= now then raise Httpd.Expired else Some (d - now)
+          in
+          match Mesh.call mesh ~core ~client:w_proc ?on_crash ?timeout uri msg with
+          | Ok r -> r
+          | Error (`Denied _) -> raise Httpd.Denied
+          | Error (`Unresolved u) -> raise (Mesh.Unknown_service u)
+          | Error (`Failed e) ->
+            if timeout <> None then raise Httpd.Expired
+            else raise (Retry.Gave_up e)
         in
-        binding_of_calls ~call_kv ~call_fs
+        binding_of_calls ~batch
+          ~call_kv:(routed "kv://")
+          ~call_fs:(routed ~on_crash:(fun _ -> remount ()) "fs://")
           ~revoke:(fun ~core -> Mesh.suspend_client mesh ~core w_proc)
           ~rebind:(fun ~core ->
             ignore core;
             Mesh.resume_client mesh w_proc)
+          ()
       in
       (Some sb, Some mesh, Some rstats, fs_cell, bind)
     | Ipc_slowpath ->
@@ -215,37 +374,59 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
       let fs = Fs.mount kernel (Disk.over_ipc ipc ~client:fs_proc disk_ep) ~core:0 in
       let fs_ep = Ipc.register ipc fs_proc ~cores:[] (Fs_iface.server_handler fs) in
       let kv_ep = Ipc.register ipc kv_proc ~cores:[] kv_h in
-      let bind w_proc =
+      let bind ~batch w_proc =
         let call_kv ~core msg = Ipc.call ipc ~core ~client:w_proc kv_ep msg in
         let call_fs ~core msg = Ipc.call ipc ~core ~client:w_proc fs_ep msg in
-        binding_of_calls ~call_kv ~call_fs
+        binding_of_calls ~batch ~call_kv ~call_fs
           ~revoke:(fun ~core -> ignore core)
           ~rebind:(fun ~core -> ignore core)
+          ()
       in
       (None, None, None, ref fs, bind)
   in
-  let files = provision_files !fs_cell ~seed in
-  let nic = Nic.create kernel ~queues:workers in
+  {
+    st_machine = machine;
+    st_kernel = kernel;
+    st_kv = kv;
+    st_fs_cell = fs_cell;
+    st_sb = sb;
+    st_mesh = mesh;
+    st_rstats = rstats;
+    st_worker_procs = worker_procs;
+    st_bind = bind;
+    st_deadline = deadline;
+  }
+
+(* ---- closed-loop front end ---- *)
+
+let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
+    ?(conns = default_conns) ?(requests_per_conn = default_requests_per_conn)
+    ?(mix = Loadgen.default_mix) ?(disk_blocks = 4096) ~workers ~transport () =
+  let st = assemble ~variant ~seed ~cores ~disk_blocks ~workers ~transport () in
+  let files = provision_files !(st.st_fs_cell) ~seed in
+  let nic = Nic.create st.st_kernel ~queues:workers in
   let lg = Loadgen.create nic ~seed ~mix ~conns ~requests_per_conn ~rtt ~files in
   let httpd =
-    Httpd.create kernel nic
+    Httpd.create st.st_kernel nic
       ~preload:(Array.to_list (Array.map fst files))
-      ~workers:(Array.map (fun p -> (p, bind p)) worker_procs)
+      ~workers:(Array.map (fun p -> (p, st.st_bind ~batch:false p)) st.st_worker_procs)
       ~queue_done:(fun ~queue -> Loadgen.queue_done lg ~queue)
   in
+  st.st_deadline := (fun ~core -> Httpd.current_deadline httpd ~core);
   {
-    machine;
-    kernel;
+    machine = st.st_machine;
+    kernel = st.st_kernel;
     transport;
     workers;
     nic;
     httpd;
     lg;
-    sb;
-    mesh;
-    rstats;
-    fs_cell;
-    kv;
+    sb = st.st_sb;
+    mesh = st.st_mesh;
+    rstats = st.st_rstats;
+    fs_cell = st.st_fs_cell;
+    kv = st.st_kv;
+    wprocs = st.st_worker_procs;
     elapsed = 0;
   }
 
@@ -273,3 +454,94 @@ let subkernel t = t.sb
 let mesh t = t.mesh
 let retry_stats t = t.rstats
 let fs t = !(t.fs_cell)
+let worker_procs t = t.wprocs
+
+(* ---- open-loop (overload) front end ---- *)
+
+type open_t = {
+  o_machine : Machine.t;
+  o_kernel : Kernel.t;
+  o_transport : transport;
+  o_workers : int;
+  o_nic : Nic.t;
+  o_httpd : Httpd.t;
+  o_ol : Openloop.t;
+  o_sb : Subkernel.t option;
+  o_mesh : Mesh.t option;
+  o_rstats : Retry.stats option;
+  o_budget : Retry.budget option;
+  o_worker_procs : Proc.t array;
+  o_fs_cell : Fs.t ref;
+  mutable o_elapsed : int;
+}
+
+let build_open ?(variant = Config.Sel4) ?(seed = 42)
+    ?(requests_per_conn = default_requests_per_conn)
+    ?(mix = Loadgen.default_mix) ?(disk_blocks = 4096) ?max_eptp ?max_bindings
+    ?(retry_budget = true) ?(admission = Httpd.no_admission) ?ttl
+    ?(keys_per_tenant = 4) ~tenants ~mean_gap ~total ~workers ~transport () =
+  (* One extra core: the wire-side arrival pump. *)
+  let cores = workers + 1 in
+  let budget = if retry_budget then Some (Retry.budget ~seed ()) else None in
+  let st =
+    assemble ~variant ~seed ~cores ~disk_blocks ?max_eptp ?max_bindings
+      ?retry_budget:budget ~workers ~transport ()
+  in
+  let files = provision_files !(st.st_fs_cell) ~seed in
+  (* Warm the per-tenant keyspace server-side before any traffic: the
+     open-loop read path touches only provisioned keys. *)
+  let keys = tenant_keys ~seed ~tenants ~keys_per_tenant in
+  let cpu0 = Kernel.cpu st.st_kernel ~core:0 in
+  Array.iter
+    (Array.iter (fun (k, v) ->
+         Kv_server.insert st.st_kv cpu0 ~key:(Bytes.of_string k) ~value:v))
+    keys;
+  let nic = Nic.create st.st_kernel ~queues:workers in
+  let ol =
+    Openloop.create nic ~seed ~mix ~tenants ~requests_per_conn ~mean_gap ~total
+      ~rtt ?ttl ~files ~keys ()
+  in
+  let httpd =
+    Httpd.create st.st_kernel nic
+      ~preload:(Array.to_list (Array.map fst files))
+      ~admission
+      ~wire_hint:(fun () -> Openloop.next_event ol)
+      ~workers:
+        (Array.map
+           (fun p -> (p, st.st_bind ~batch:(admission.Httpd.a_batch_max > 1) p))
+           st.st_worker_procs)
+      ~queue_done:(fun ~queue -> Openloop.queue_done ol ~queue)
+  in
+  st.st_deadline := (fun ~core -> Httpd.current_deadline httpd ~core);
+  {
+    o_machine = st.st_machine;
+    o_kernel = st.st_kernel;
+    o_transport = transport;
+    o_workers = workers;
+    o_nic = nic;
+    o_httpd = httpd;
+    o_ol = ol;
+    o_sb = st.st_sb;
+    o_mesh = st.st_mesh;
+    o_rstats = st.st_rstats;
+    o_budget = budget;
+    o_worker_procs = st.st_worker_procs;
+    o_fs_cell = st.st_fs_cell;
+    o_elapsed = 0;
+  }
+
+let run_open o =
+  Machine.sync_cores o.o_machine;
+  let start = Cpu.cycles (Machine.core o.o_machine 0) in
+  Openloop.start o.o_ol ~at:(start + 500);
+  Machine.interleave o.o_machine
+    ~cores:(List.init (o.o_workers + 1) Fun.id)
+    ~step:(fun ~core ->
+      if core < o.o_workers then Httpd.step o.o_httpd ~core
+      else Openloop.step o.o_ol ~now:(Cpu.cycles (Machine.core o.o_machine core)));
+  let elapsed = ref 1 in
+  for core = 0 to o.o_workers - 1 do
+    let c = Cpu.cycles (Machine.core o.o_machine core) - start in
+    if c > !elapsed then elapsed := c
+  done;
+  o.o_elapsed <- !elapsed

@@ -1,7 +1,12 @@
-(** End-to-end web-serving stack: closed-loop load generator → RSS NIC →
-    N skyhttpd workers (one per core) → KV + xv6fs backends, with the
+(** End-to-end web-serving stack: load generator → RSS NIC → N skyhttpd
+    workers (one per core) → KV + xv6fs backends, with the
     worker→backend hop over SkyBridge direct calls or the baseline
-    kernel's synchronous IPC (the slowpath variant). *)
+    kernel's synchronous IPC (the slowpath variant).
+
+    Two front ends share the assembly: {!build} (closed-loop
+    {!Loadgen}) and {!build_open} (the {b overload} stack — open-loop
+    Poisson arrivals, admission control, deadline propagation, retry
+    budgets and batched backend crossings). *)
 
 type transport = Ipc_slowpath | Skybridge
 
@@ -19,23 +24,33 @@ val rtt : int
 
 val kv_backend :
   Sky_ukernel.Kernel.t -> Sky_kvstore.Kv_server.t -> Sky_kernels.Ipc.handler
-(** The KV store's 'I'/'Q' wire handler, closed over a freshly allocated
-    instruction working set (so each server generation pollutes the
-    caches like a real process would). *)
+(** The KV store's 'I'/'Q'/'B' wire handler, closed over a freshly
+    allocated instruction working set (so each server generation
+    pollutes the caches like a real process would). 'B' carries a whole
+    batch of operations in one crossing. *)
 
 val binding_of_calls :
+  ?batch:bool ->
   call_kv:(core:int -> bytes -> bytes) ->
   call_fs:(core:int -> bytes -> bytes) ->
   revoke:(core:int -> unit) ->
   rebind:(core:int -> unit) ->
+  unit ->
   Httpd.binding
 (** Lift raw wire calls into a worker's typed {!Httpd.binding} (the FS
-    side goes through {!Sky_xv6fs.Fs_iface.over_call}). *)
+    side goes through {!Sky_xv6fs.Fs_iface.over_call}). [batch]
+    (default false) fills {!Httpd.binding.kv_batch} with the 'B'-opcode
+    single-crossing path. *)
 
 val provision_files : Sky_xv6fs.Fs.t -> seed:int -> (string * bytes) array
 (** Create the static files the load mix reads (deterministic printable
     contents) through the server-side FS handle; returns name/content
     pairs for the load generator's response validation. *)
+
+val tenant_keys :
+  seed:int -> tenants:int -> keys_per_tenant:int -> (string * bytes) array array
+(** Deterministic per-tenant warm keyspace for the open-loop generator
+    ([build_open] provisions it server-side before traffic starts). *)
 
 val build :
   ?variant:Sky_ukernel.Config.variant ->
@@ -79,3 +94,61 @@ val retry_stats : t -> Sky_core.Retry.stats option
 val fs : t -> Sky_xv6fs.Fs.t
 (** The mounted xv6fs backend (post-recovery handle on the SkyBridge
     path) — for fsck after a fault storm. *)
+
+val worker_procs : t -> Sky_ukernel.Proc.t array
+(** The worker processes, in core order — for per-process census
+    (e.g. {!Sky_core.Subkernel.process_evictions}). *)
+
+(** {2 Open-loop (overload) front end} *)
+
+type open_t = {
+  o_machine : Sky_sim.Machine.t;
+  o_kernel : Sky_ukernel.Kernel.t;
+  o_transport : transport;
+  o_workers : int;
+  o_nic : Nic.t;
+  o_httpd : Httpd.t;
+  o_ol : Openloop.t;
+  o_sb : Sky_core.Subkernel.t option;
+  o_mesh : Sky_mesh.Mesh.t option;
+  o_rstats : Sky_core.Retry.stats option;
+  o_budget : Sky_core.Retry.budget option;
+  o_worker_procs : Sky_ukernel.Proc.t array;
+  o_fs_cell : Sky_xv6fs.Fs.t ref;
+  mutable o_elapsed : int;
+}
+
+val build_open :
+  ?variant:Sky_ukernel.Config.variant ->
+  ?seed:int ->
+  ?requests_per_conn:int ->
+  ?mix:Loadgen.mix ->
+  ?disk_blocks:int ->
+  ?max_eptp:int ->
+  ?max_bindings:int ->
+  ?retry_budget:bool ->
+  ?admission:Httpd.admission ->
+  ?ttl:int ->
+  ?keys_per_tenant:int ->
+  tenants:int ->
+  mean_gap:int ->
+  total:int ->
+  workers:int ->
+  transport:transport ->
+  unit ->
+  open_t
+(** The overload stack: same backends and bindings as {!build}, but fed
+    by an {!Openloop} Poisson generator ([mean_gap] cycles between
+    arrivals, [total] arrivals, spread over [tenants] pipelined
+    connections) pumped by one extra core at index [workers]. [ttl]
+    stamps a relative deadline on every request wire-side; [admission]
+    configures the server's queue bounds / default deadline / batching;
+    [retry_budget] (default true) bounds crash-recovery retries with a
+    token bucket so retries cannot amplify overload; [max_eptp] /
+    [max_bindings] throttle the SkyBridge translation-table budgets for
+    eviction studies. Tenant warm keys are provisioned server-side
+    before traffic starts. *)
+
+val run_open : open_t -> unit
+(** Drive workers + the arrival pump by virtual time until every
+    arrival has been offered and resolved. *)

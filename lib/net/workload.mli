@@ -1,0 +1,34 @@
+(** Request-mix, expected-result and flow-placement machinery shared by
+    the closed-loop ({!Loadgen}) and open-loop ({!Openloop}) load
+    generators. Pure wire-side helpers — no simulated-core cycles. *)
+
+type mix = { m_kv_get : int; m_kv_put : int; m_fs_get : int }
+(** Relative request-type weights. *)
+
+val default_mix : mix
+
+type expect =
+  | Stored  (** a PUT: the body must be ["stored"] *)
+  | Value of bytes  (** a KV GET: the value previously stored *)
+  | File of bytes  (** an FS GET: the provisioned file contents *)
+
+type verdict =
+  | Good  (** 200 with the expected body *)
+  | Shed  (** 503 — admission control refused the request *)
+  | Unservable  (** 403 — denied by every receiver (terminal) *)
+  | Corrupt  (** anything else: lost, duplicated or corrupted *)
+
+val value_bytes : Sky_sim.Rng.t -> int -> int -> bytes
+(** [value_bytes rng flow n] — deterministic printable value for flow
+    [flow]'s [n]-th request. *)
+
+val body_matches : expect -> Http.response -> bool
+
+val classify : expect -> Http.response -> verdict
+(** Status-aware classification: sheds and terminal denials are counted
+    apart from corruption, so overload runs can gate "zero lost or
+    corrupt {e admitted} requests". *)
+
+val place_flows : Nic.t -> conns:int -> int array
+(** RSS-aware placement: connection [i] gets a flow id whose hash lands
+    on queue [i mod n_queues]. *)

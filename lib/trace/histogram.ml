@@ -99,6 +99,7 @@ let percentile t q =
 let p50 t = percentile t 50.0
 let p95 t = percentile t 95.0
 let p99 t = percentile t 99.0
+let p999 t = percentile t 99.9
 
 let pp fmt t =
   Format.fprintf fmt "n=%d p50=%d p95=%d p99=%d max=%d" t.n (p50 t) (p95 t)

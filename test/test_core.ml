@@ -6,10 +6,10 @@ open Sky_ukernel
 open Sky_kernels
 open Sky_core
 
-let make ?(vpid = true) ?max_eptp ?(cores = 4) () =
+let make ?(vpid = true) ?max_eptp ?max_bindings ?(cores = 4) () =
   let machine = Machine.create ~cores ~mem_mib:64 () in
   let k = Kernel.create machine in
-  let sb = Subkernel.init ~vpid ?max_eptp k in
+  let sb = Subkernel.init ~vpid ?max_eptp ?max_bindings k in
   (k, sb)
 
 let user_code = Sky_isa.Encode.encode_all [ Sky_isa.Insn.Nop; Sky_isa.Insn.Ret ]
@@ -553,6 +553,112 @@ let test_eptp_eviction () =
       sids
   done
 
+let test_eptp_slot_reuse () =
+  (* max_eptp = 4: slot 0 (own EPT) + 3 binding slots. Binding 6 servers
+     must recycle slots rather than grow the list, with every eviction
+     charged to this process. *)
+  let k, sb = make ~max_eptp:4 () in
+  let client = spawn_with_code k "client" in
+  let sids =
+    List.init 6 (fun i ->
+        let s = spawn_with_code k (Printf.sprintf "srv%d" i) in
+        let sid = Subkernel.register_server sb s echo in
+        Subkernel.register_client_to_server sb client ~server_id:sid;
+        sid)
+  in
+  Kernel.context_switch k ~core:0 client;
+  (* Touch every binding once: the first 3 are already installed; each
+     of the last 3 must steal a slot (eviction is lazy, at call time). *)
+  List.iter
+    (fun sid ->
+      ignore
+        (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:sid
+           (Bytes.create 4)))
+    sids;
+  Alcotest.(check bool) "slots bounded by max_eptp" true
+    (List.length (Subkernel.installed_servers sb client) <= 3);
+  Alcotest.(check int) "evictions = calls beyond the slot budget" 3
+    (Subkernel.process_evictions sb client);
+  Alcotest.(check int) "all evictions charged to this process"
+    (Subkernel.evictions sb)
+    (Subkernel.process_evictions sb client);
+  (* The survivors are the 3 most recently called; the early ones were
+     recycled out. *)
+  List.iteri
+    (fun i sid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "srv%d slot state" i)
+        (i >= 3)
+        (List.mem sid (Subkernel.installed_servers sb client)))
+    sids
+
+let test_eptp_lru_never_evicts_recent () =
+  (* 3 binding slots, servers a b c bound in that order; calling [a]
+     refreshes it, so binding [d] must evict [b] (the LRU), never the
+     just-touched [a]. *)
+  let k, sb = make ~max_eptp:4 () in
+  let client = spawn_with_code k "client" in
+  let bind name =
+    let s = spawn_with_code k name in
+    let sid = Subkernel.register_server sb s echo in
+    Subkernel.register_client_to_server sb client ~server_id:sid;
+    sid
+  in
+  let a = bind "a" and b = bind "b" and c = bind "c" in
+  Kernel.context_switch k ~core:0 client;
+  ignore (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:a (Bytes.create 4));
+  let d = bind "d" in
+  (* The 4th binding takes no slot until it is called; the call must
+     evict the least-recently-used binding [b], not the just-touched
+     [a]. *)
+  ignore (Subkernel.direct_server_call sb ~core:0 ~client ~server_id:d (Bytes.create 4));
+  let installed = Subkernel.installed_servers sb client in
+  Alcotest.(check bool) "recently-called a survives" true (List.mem a installed);
+  Alcotest.(check bool) "LRU b evicted" false (List.mem b installed);
+  Alcotest.(check bool) "c survives" true (List.mem c installed);
+  Alcotest.(check bool) "new d installed" true (List.mem d installed);
+  Alcotest.(check int) "exactly one eviction" 1 (Subkernel.process_evictions sb client);
+  (* The evicted binding still serves — degraded to the slowpath. *)
+  match Subkernel.call sb ~core:0 ~client ~server_id:b (Bytes.create 4) with
+  | Ok (r, _) -> Alcotest.(check int) "b still answers" 4 (Bytes.length r)
+  | Error _ -> Alcotest.fail "evicted binding must degrade, not fail"
+
+let test_max_bindings_global_budget () =
+  (* Global budget of 4 live fast-path bindings across 6 single-binding
+     clients: the least-recently-calling processes are retired to
+     slowpath, nothing fails. *)
+  let k, sb = make ~max_eptp:8 ~max_bindings:4 () in
+  let server = spawn_with_code k "server" in
+  let sid = Subkernel.register_server sb server ~connection_count:8 echo in
+  let clients =
+    List.init 6 (fun i ->
+        let c = spawn_with_code k (Printf.sprintf "cl%d" i) in
+        Subkernel.register_client_to_server sb c ~server_id:sid;
+        Kernel.context_switch k ~core:0 c;
+        ignore (Subkernel.direct_server_call sb ~core:0 ~client:c ~server_id:sid
+                  (Bytes.create 4));
+        c)
+  in
+  Alcotest.(check bool) "slot evictions happened" true
+    (Subkernel.slot_evictions sb > 0);
+  Alcotest.(check bool) "live bindings within budget" true
+    (Subkernel.live_bindings sb <= 4);
+  (* The first (least-recently-calling) client was retired: its call
+     comes back correct via the slowpath. *)
+  let c0 = List.hd clients in
+  Kernel.context_switch k ~core:0 c0;
+  (match Subkernel.call sb ~core:0 ~client:c0 ~server_id:sid (Bytes.create 4) with
+  | Ok (r, `Slowpath) -> Alcotest.(check int) "slowpath echo" 4 (Bytes.length r)
+  | Ok (_, `Direct) -> Alcotest.fail "retired tenant must be on the slowpath"
+  | Error _ -> Alcotest.fail "retired tenant must degrade, not fail");
+  (* The most recent client still calls direct. *)
+  let c5 = List.nth clients 5 in
+  Kernel.context_switch k ~core:0 c5;
+  match Subkernel.call sb ~core:0 ~client:c5 ~server_id:sid (Bytes.create 4) with
+  | Ok (_, `Direct) -> ()
+  | Ok (_, `Slowpath) -> Alcotest.fail "recent tenant should still be fast"
+  | Error _ -> Alcotest.fail "recent tenant must not fail"
+
 (* ------------------------------------------------------------------ *)
 (* W^X rescanning (§9 extension)                                       *)
 (* ------------------------------------------------------------------ *)
@@ -668,6 +774,12 @@ let () =
           Alcotest.test_case "Table 5: no exits w/o SkyBridge" `Quick
             test_unregistered_switches_no_exits;
           Alcotest.test_case "LRU eviction beyond max" `Quick test_eptp_eviction;
+          Alcotest.test_case "slot reuse bounded by max_eptp" `Quick
+            test_eptp_slot_reuse;
+          Alcotest.test_case "LRU never evicts recently-touched" `Quick
+            test_eptp_lru_never_evicts_recent;
+          Alcotest.test_case "global max_bindings retires LRU process" `Quick
+            test_max_bindings_global_budget;
         ] );
       ( "extensions",
         [

@@ -242,12 +242,34 @@ let test_experiments_deterministic () =
       | None -> Alcotest.failf "missing experiment %s" id)
     [ "fig7"; "table2"; "table6" ]
 
+(* The overload scenario's acceptance gates on a test-sized config:
+   accounting holds with zero lost/corrupt, admission sheds at 2x,
+   goodput survives, the storm is survived cleanly, and the tenant
+   fleet drives both eviction paths. *)
+let test_overload_gates () =
+  let r =
+    Exp_overload.run_overload ~workers:2 ~tenants:12 ~total:400
+      ~scale_tenants:80 ()
+  in
+  Alcotest.(check bool) "zero lost/corrupt" true (Exp_overload.zero_lost r);
+  Alcotest.(check bool) "sheds under 2x overload" true
+    (Exp_overload.overload_sheds r);
+  Alcotest.(check bool) "goodput holds at 2x" true
+    (Exp_overload.goodput_ratio r >= 0.5);
+  Alcotest.(check bool) "chaos injected and survived" true
+    (Exp_overload.chaos_active r);
+  Alcotest.(check bool) "audits + fsck clean after storm" true
+    (Exp_overload.chaos_clean r);
+  Alcotest.(check bool) "tenant fleet evicted to slowpath" true
+    (Exp_overload.tenants_evicted r)
+
 let test_registry_complete () =
   (* One entry per paper table/figure + the ablation. *)
   let expected =
     [ "table1"; "table2"; "fig2"; "fig7"; "fig8"; "table4"; "fig9"; "fig10";
       "fig11"; "table5"; "table6"; "gadgets"; "ablation"; "monolithic";
-      "tempmap"; "scheduling"; "chaos"; "web"; "mesh"; "ycsbmix"; "pingpong" ]
+      "tempmap"; "scheduling"; "chaos"; "web"; "mesh"; "ycsbmix"; "pingpong";
+      "overload" ]
   in
   List.iter
     (fun id ->
@@ -291,4 +313,6 @@ let () =
           Alcotest.test_case "deterministic" `Slow test_experiments_deterministic;
           Alcotest.test_case "complete" `Quick test_registry_complete;
         ] );
+      ( "overload",
+        [ Alcotest.test_case "acceptance gates" `Slow test_overload_gates ] );
     ]

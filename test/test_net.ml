@@ -208,6 +208,147 @@ let test_web_worker_crash_recovery () =
     Alcotest.(check int) "audit still clean after revoke/rebind" 0
       (List.length (Sky_core.Subkernel.audit sb))
 
+(* A request denied by EVERY receiver must terminate as a counted 403,
+   not cycle around the endpoint forever. Revoking the kv:// service
+   kills every worker's capability at once; the static files stay
+   servable from the worker caches, so the run must finish with exactly
+   the KV share of the mix as unservable errors. *)
+let test_denied_by_all_terminates () =
+  let t = small Web.Skybridge in
+  (match Web.mesh t with
+  | None -> Alcotest.fail "skybridge stack has a mesh"
+  | Some mesh -> ignore (Sky_mesh.Mesh.revoke_service mesh ~core:0 "kv://"));
+  Web.run t;
+  let lg = Web.loadgen t in
+  Alcotest.(check int) "every request answered (served or 403)"
+    (Loadgen.expected lg) (Loadgen.responses lg);
+  Alcotest.(check bool) "unservable requests counted" true
+    (Httpd.unservable (Web.httpd t) > 0);
+  Alcotest.(check bool) "denials bounced before terminating" true
+    (Httpd.denials (Web.httpd t) > 0);
+  Alcotest.(check int) "load generator saw them as errors"
+    (Httpd.unservable (Web.httpd t))
+    (Loadgen.errors lg)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop generator + admission control                             *)
+(* ------------------------------------------------------------------ *)
+
+let accounted ol =
+  Openloop.offered ol
+  = Openloop.ok ol + Openloop.shed ol + Openloop.shed_wire ol
+    + Openloop.unservable ol + Openloop.corrupt ol
+
+let test_openloop_accounting () =
+  (* Moderate load: everything served, nothing shed, invariant holds. *)
+  let o =
+    Web.build_open ~seed:5 ~tenants:8 ~mean_gap:4000 ~total:160 ~workers:2
+      ~transport:Web.Skybridge ()
+  in
+  Web.run_open o;
+  let ol = o.Web.o_ol in
+  Alcotest.(check bool) "finished" true (Openloop.finished ol);
+  Alcotest.(check int) "all offered" 160 (Openloop.offered ol);
+  Alcotest.(check bool) "accounting invariant" true (accounted ol);
+  Alcotest.(check int) "zero errors at moderate load" 0 (Openloop.errors ol);
+  Alcotest.(check int) "all goodput" 160 (Openloop.ok ol);
+  Alcotest.(check bool) "connections churned" true (Openloop.churns ol > 0)
+
+let test_openloop_deterministic () =
+  let run () =
+    let o =
+      Web.build_open ~seed:13 ~tenants:10 ~mean_gap:900 ~total:250 ~workers:2
+        ~admission:
+          { Httpd.a_queue_cap = Some 4; a_default_ttl = None; a_batch_max = 3 }
+        ~transport:Web.Skybridge ()
+    in
+    Web.run_open o;
+    let ol = o.Web.o_ol in
+    let h = Openloop.latencies ol in
+    ( Openloop.ok ol,
+      Openloop.shed ol,
+      Openloop.churns ol,
+      Sky_trace.Histogram.p50 h,
+      Sky_trace.Histogram.p99 h,
+      o.Web.o_elapsed )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, bit-identical run" true (a = b)
+
+let test_admission_queue_cap_sheds () =
+  (* Far past saturation with a tiny queue bound: overflow sheds as
+     typed 503s at demux, and nothing is lost or corrupted. *)
+  let o =
+    Web.build_open ~seed:9 ~tenants:16 ~mean_gap:250 ~total:400 ~workers:2
+      ~admission:
+        { Httpd.a_queue_cap = Some 2; a_default_ttl = None; a_batch_max = 1 }
+      ~transport:Web.Skybridge ()
+  in
+  Web.run_open o;
+  let ol = o.Web.o_ol in
+  Alcotest.(check bool) "accounting invariant" true (accounted ol);
+  Alcotest.(check bool) "queue-full sheds happened" true
+    (Httpd.shed_queue o.Web.o_httpd > 0);
+  Alcotest.(check int) "client saw every shed as a 503"
+    (Httpd.shed o.Web.o_httpd + Openloop.shed_wire ol)
+    (Openloop.shed ol + Openloop.shed_wire ol);
+  Alcotest.(check int) "zero corrupt" 0 (Openloop.corrupt ol);
+  Alcotest.(check int) "zero unservable" 0 (Openloop.unservable ol)
+
+let test_admission_deadline_sheds () =
+  (* A TTL so tight the queue can never be worked off: expired requests
+     are shed, admitted ones still validate. *)
+  let o =
+    Web.build_open ~seed:21 ~tenants:12 ~mean_gap:400 ~total:300 ~workers:2
+      ~admission:
+        { Httpd.a_queue_cap = None; a_default_ttl = None; a_batch_max = 1 }
+      ~ttl:9_000 ~transport:Web.Skybridge ()
+  in
+  Web.run_open o;
+  let ol = o.Web.o_ol in
+  Alcotest.(check bool) "accounting invariant" true (accounted ol);
+  Alcotest.(check bool) "deadline sheds happened" true
+    (Httpd.shed_expired o.Web.o_httpd > 0);
+  Alcotest.(check int) "zero corrupt" 0 (Openloop.corrupt ol);
+  Alcotest.(check bool) "some goodput survived" true (Openloop.ok ol > 0)
+
+let test_batching_amortizes () =
+  (* Deep queues + batch_max > 1: workers drain several requests per
+     quantum and carry their KV ops in one backend crossing. *)
+  let o =
+    Web.build_open ~seed:17 ~tenants:16 ~mean_gap:400 ~total:400 ~workers:2
+      ~admission:
+        { Httpd.a_queue_cap = Some 8; a_default_ttl = None; a_batch_max = 4 }
+      ~transport:Web.Skybridge ()
+  in
+  Web.run_open o;
+  let ol = o.Web.o_ol in
+  let httpd = o.Web.o_httpd in
+  Alcotest.(check bool) "batched crossings happened" true (Httpd.batches httpd > 0);
+  Alcotest.(check bool) "each batch carries >= 2 ops" true
+    (Httpd.batched_ops httpd >= 2 * Httpd.batches httpd);
+  Alcotest.(check bool) "accounting invariant" true (accounted ol);
+  Alcotest.(check int) "zero errors: batched replies validate" 0
+    (Openloop.errors ol)
+
+let test_openloop_worker_crash_zero_lost () =
+  (* The chaos interlock: a worker crash mid-overload parks the live
+     batch and replays it — every admitted request still resolves. *)
+  with_faults @@ fun () ->
+  Fault.reset ~seed:3 ();
+  Fault.arm ~budget:2 ~site:Httpd.fault_site ~kind:Fault.Crash (Fault.At_hit 5);
+  let o =
+    Web.build_open ~seed:29 ~tenants:10 ~mean_gap:1200 ~total:200 ~workers:2
+      ~admission:
+        { Httpd.a_queue_cap = Some 16; a_default_ttl = None; a_batch_max = 3 }
+      ~transport:Web.Skybridge ()
+  in
+  Web.run_open o;
+  let ol = o.Web.o_ol in
+  Alcotest.(check bool) "workers crashed" true (Httpd.restarts o.Web.o_httpd >= 1);
+  Alcotest.(check bool) "accounting invariant" true (accounted ol);
+  Alcotest.(check int) "zero corrupt under crash replay" 0 (Openloop.corrupt ol)
+
 let () =
   Alcotest.run "net"
     [
@@ -232,5 +373,21 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_web_deterministic;
           Alcotest.test_case "worker-crash-recovery" `Quick
             test_web_worker_crash_recovery;
+          Alcotest.test_case "denied-by-all-terminates" `Quick
+            test_denied_by_all_terminates;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "openloop-accounting" `Quick
+            test_openloop_accounting;
+          Alcotest.test_case "openloop-deterministic" `Quick
+            test_openloop_deterministic;
+          Alcotest.test_case "queue-cap-sheds" `Quick
+            test_admission_queue_cap_sheds;
+          Alcotest.test_case "deadline-sheds" `Quick
+            test_admission_deadline_sheds;
+          Alcotest.test_case "batching-amortizes" `Quick test_batching_amortizes;
+          Alcotest.test_case "crash-zero-lost" `Quick
+            test_openloop_worker_crash_zero_lost;
         ] );
     ]
