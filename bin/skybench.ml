@@ -10,6 +10,30 @@
 
 open Cmdliner
 
+(* Every command takes --backend: the isolation mechanism carrying the
+   mediated calls (VMFUNC EPTP switching, ERIM-style MPK, or the
+   filtered-syscall slowpath). It sets the process-wide default that
+   Subkernel.init picks up, so every experiment runs unchanged against
+   whichever mechanism was selected. *)
+let backend_arg =
+  let parse s =
+    match Sky_core.Backend.of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown backend %S (try vmfunc|mpk|syscall)" s))
+  in
+  let backend_conv = Arg.conv (parse, Sky_core.Backend.pp) in
+  Arg.(
+    value
+    & opt backend_conv Sky_core.Backend.Vmfunc
+    & info [ "backend" ] ~docv:"MECH"
+        ~doc:
+          "Isolation backend carrying the direct calls: $(b,vmfunc) (EPTP \
+           switching, the paper's mechanism), $(b,mpk) (WRPKRU call gate) \
+           or $(b,syscall) (filtered kernel slowpath).")
+
+let set_backend k = Sky_core.Backend.set_default k
+
 let list_cmd =
   let doc = "List available experiments." in
   let run () =
@@ -74,7 +98,8 @@ let run_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result table as JSON.")
   in
-  let run id records ops json =
+  let run id records ops json backend =
+    set_backend backend;
     if id = "all" then
       List.iter
         (fun e ->
@@ -84,7 +109,8 @@ let run_cmd =
         Sky_experiments.Registry.all
     else run_one ~records ~ops ~json id
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id $ records $ ops $ json)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id $ records $ ops $ json $ backend_arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -112,7 +138,8 @@ let trace_cmd =
       & info [ "folded" ] ~docv:"FILE"
           ~doc:"Also write folded stacks for flamegraph.pl / speedscope.")
   in
-  let run id out folded =
+  let run id out folded backend =
+    set_backend backend;
     match Sky_experiments.Registry.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
@@ -144,7 +171,8 @@ let trace_cmd =
       | None -> ());
       Sky_trace.Trace.clear ()
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ id $ out $ folded)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ id $ out $ folded $ backend_arg)
 
 let audit_cmd =
   let doc =
@@ -159,7 +187,8 @@ let audit_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit violations as JSON.")
   in
-  let run json =
+  let run json backend =
+    set_backend backend;
     let scenarios = Sky_experiments.Exp_audit.scenarios () in
     let viols prs = Sky_analysis.Audit.violations prs in
     let total =
@@ -211,7 +240,7 @@ let audit_cmd =
         scenarios;
     if total > 0 then exit 1
   in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json)
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json $ backend_arg)
 
 let chaos_cmd =
   let doc =
@@ -230,13 +259,14 @@ let chaos_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the census as JSON.")
   in
-  let run seed json =
+  let run seed json backend =
+    set_backend backend;
     let c = Sky_experiments.Exp_chaos.run_chaos ~seed in
     if json then print_endline (Sky_experiments.Exp_chaos.census_to_json c)
     else Sky_harness.Tbl.print (Sky_experiments.Exp_chaos.census_table c);
     if not (Sky_experiments.Exp_chaos.clean c) then exit 1
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ json)
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ json $ backend_arg)
 
 let web_cmd =
   let doc =
@@ -279,7 +309,8 @@ let web_cmd =
              walk cache, hot lines) for this run — the cache-free \
              reference walker, for host wall-clock comparisons.")
   in
-  let run seed cores conns requests json no_accel =
+  let run seed cores conns requests json no_accel backend =
+    set_backend backend;
     if no_accel then Sky_sim.Accel.set_enabled false;
     let r, host_seconds =
       timed (fun () ->
@@ -303,7 +334,9 @@ let web_cmd =
     end
   in
   Cmd.v (Cmd.info "web" ~doc)
-    Term.(const run $ seed $ cores $ conns $ requests $ json $ no_accel)
+    Term.(
+      const run $ seed $ cores $ conns $ requests $ json $ no_accel
+      $ backend_arg)
 
 let mesh_cmd =
   let doc =
@@ -332,7 +365,8 @@ let mesh_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the result as JSON and write BENCH_mesh.json.")
   in
-  let run seed json =
+  let run seed json backend =
+    set_backend backend;
     let r, host_seconds =
       timed (fun () -> Sky_experiments.Exp_mesh.run_mesh ~seed ())
     in
@@ -356,7 +390,7 @@ let mesh_cmd =
       exit 1
     end
   in
-  Cmd.v (Cmd.info "mesh" ~doc) Term.(const run $ seed $ json)
+  Cmd.v (Cmd.info "mesh" ~doc) Term.(const run $ seed $ json $ backend_arg)
 
 (* bench/budgets.json is flat enough ({"pingpong":{"cycles_per_call":N}})
    that a substring scan beats pulling in a JSON parser dependency. Finds
@@ -410,7 +444,8 @@ let perf_cmd =
       & opt string "bench/budgets.json"
       & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
   in
-  let run json budgets =
+  let run json budgets backend =
+    set_backend backend;
     let r, host_seconds = timed Sky_experiments.Exp_pingpong.run_result in
     if json then begin
       let j = Sky_experiments.Exp_pingpong.to_json r in
@@ -445,7 +480,7 @@ let perf_cmd =
             cpc budget limit
     else Printf.eprintf "perf: %s not found; skipping budget gate\n" budgets
   in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ json $ budgets)
+  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ json $ budgets $ backend_arg)
 
 let overload_cmd =
   let doc =
@@ -496,7 +531,8 @@ let overload_cmd =
       & opt string "bench/budgets.json"
       & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
   in
-  let run seed workers arrivals scale_tenants json budgets =
+  let run seed workers arrivals scale_tenants json budgets backend =
+    set_backend backend;
     let r, host_seconds =
       timed (fun () ->
           Sky_experiments.Exp_overload.run_overload ~seed ~workers
@@ -570,7 +606,93 @@ let overload_cmd =
   in
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(
-      const run $ seed $ workers $ arrivals $ scale_tenants $ json $ budgets)
+      const run $ seed $ workers $ arrivals $ scale_tenants $ json $ budgets
+      $ backend_arg)
+
+let matrix_cmd =
+  let doc =
+    "Run the cross-mechanism showdown: drive the pingpong cost probe, a \
+     deterministic crash/hang/revoke mini-storm over the KV pipeline, and \
+     the full post-storm audit against all three isolation backends \
+     (VMFUNC EPTP switching, ERIM-style MPK, filtered syscall) and emit \
+     one cost/security matrix. Writes BENCH_matrix.json with --json; the \
+     JSON is byte-deterministic, so CI diffs two same-seed runs. Exit \
+     code 0 iff every backend recovers the identical fault schedule with \
+     zero lost calls and a clean audit (including the WRPKRU binary scan \
+     under MPK and the entry-filter pass under syscall), MPK's cycles per \
+     call land strictly below VMFUNC's, and VMFUNC stays within 2% of \
+     the pingpong budget in bench/budgets.json."
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Sky_experiments.Exp_matrix.default_seed
+      & info [ "seed" ] ~doc:"Fault-plan seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the matrix as JSON and write BENCH_matrix.json.")
+  in
+  let budgets =
+    Arg.(
+      value
+      & opt string "bench/budgets.json"
+      & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
+  in
+  let run seed json budgets =
+    let r = Sky_experiments.Exp_matrix.run_matrix ~seed () in
+    if json then begin
+      let j = Sky_experiments.Exp_matrix.to_json r in
+      print_endline j;
+      (* No host_seconds wrapper: the artifact itself is the
+         byte-determinism witness CI diffs across two runs. *)
+      let path = Sky_harness.Artifact.write ~name:"matrix" j in
+      Printf.eprintf "wrote %s\n" path
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_matrix.table r);
+    if not (Sky_experiments.Exp_matrix.ok r) then begin
+      Printf.eprintf
+        "matrix: acceptance failed (zero_lost=%b audits_clean=%b \
+         mpk_beats_vmfunc=%b recovered=%b)\n"
+        (Sky_experiments.Exp_matrix.zero_lost r)
+        (Sky_experiments.Exp_matrix.audits_clean r)
+        (Sky_experiments.Exp_matrix.mpk_beats_vmfunc r)
+        (Sky_experiments.Exp_matrix.recovered_under_storm r);
+      exit 1
+    end;
+    let vmfunc_cpc = Sky_experiments.Exp_matrix.cycles r Sky_core.Backend.Vmfunc in
+    (if Sys.file_exists budgets then
+       match
+         budget_of ~file:budgets ~section:"pingpong" ~key:"cycles_per_call"
+       with
+       | None ->
+         Printf.eprintf "matrix: no pingpong.cycles_per_call budget in %s\n"
+           budgets;
+         exit 1
+       | Some budget ->
+         let limit = budget * 102 / 100 in
+         if vmfunc_cpc > limit then begin
+           Printf.eprintf
+             "matrix: REGRESSION: vmfunc %d cycles/call exceeds budget %d \
+              (+2%% = %d)\n"
+             vmfunc_cpc budget limit;
+           exit 1
+         end
+         else
+           Printf.eprintf
+             "matrix: vmfunc %d cycles/call within budget %d (+2%% = %d)\n"
+             vmfunc_cpc budget limit
+     else Printf.eprintf "matrix: %s not found; skipping budget gate\n" budgets);
+    Printf.eprintf
+      "matrix: mpk %d < vmfunc %d < syscall %d cycles/call; zero lost, \
+       clean audits on all backends\n"
+      (Sky_experiments.Exp_matrix.cycles r Sky_core.Backend.Mpk)
+      vmfunc_cpc
+      (Sky_experiments.Exp_matrix.cycles r Sky_core.Backend.Syscall)
+  in
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ seed $ json $ budgets)
 
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
@@ -591,5 +713,5 @@ let () =
           (Cmd.info "skybench" ~doc ~version:"1.0")
           [
             list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd;
-            web_cmd; mesh_cmd; perf_cmd; overload_cmd;
+            web_cmd; mesh_cmd; perf_cmd; overload_cmd; matrix_cmd;
           ]))

@@ -31,21 +31,35 @@ type image = {
 let image ?(va = 0) ?(allowed = []) ?(entries = [ 0 ]) ~name bytes =
   { name; va; bytes; allowed; entries }
 
+(* Which mechanism instruction the audit hunts for. VMFUNC for the
+   EPTP-switching backend; WRPKRU for the MPK backend, where an
+   attacker-reachable [0F 01 EF] lets a compromised domain grant itself
+   every protection key — ERIM's binary-inspection requirement. *)
+type rule = { r_insn : Insn.t; r_pattern : bytes; r_tag : string }
+
+let vmfunc_rule =
+  { r_insn = Insn.Vmfunc; r_pattern = Sky_rewriter.Scan.vmfunc_bytes;
+    r_tag = "vmfunc" }
+
+let wrpkru_rule =
+  { r_insn = Insn.Wrpkru; r_pattern = Sky_rewriter.Scan.wrpkru_bytes;
+    r_tag = "wrpkru" }
+
 let in_allowed allowed at =
   List.exists (fun (off, len) -> at >= off && at < off + len) allowed
 
-(* Offset of the raw [0F 01 D4] bytes inside a decoded VMFUNC (prefixed
+(* Offset of the raw pattern bytes inside a decoded occurrence (prefixed
    encodings put them after the prefixes/REX). *)
 let pattern_off (d : Decode.decoded) = d.Decode.off + d.Decode.layout.Encode.opcode_off
 
-(* Every offset where decoding yields a VMFUNC instruction — the
+(* Every offset where decoding yields the mechanism instruction — the
    misaligned-execution view of the image. *)
-let sweep_every_offset code =
+let sweep_every_offset ~rule code =
   let n = Bytes.length code in
   let hits = ref [] in
   for off = n - 1 downto 0 do
     let d = Decode.decode_one code off in
-    if d.Decode.insn = Some Insn.Vmfunc then hits := d :: !hits
+    if d.Decode.insn = Some rule.r_insn then hits := d :: !hits
   done;
   !hits
 
@@ -61,7 +75,7 @@ let aligned_starts code =
 (* Recursive descent from the entry points: follow fall-through, branch
    and call targets inside the image; stop at RET, out-of-image targets
    and undecodable bytes. *)
-let reachable_vmfuncs code ~entries =
+let reachable_vmfuncs ?(rule = vmfunc_rule) code ~entries =
   let n = Bytes.length code in
   let visited = Hashtbl.create 256 in
   let hits = ref [] in
@@ -72,7 +86,7 @@ let reachable_vmfuncs code ~entries =
       let next = off + d.Decode.len in
       match d.Decode.insn with
       | None -> ()  (* unverifiable bytes are reported separately *)
-      | Some Insn.Vmfunc ->
+      | Some i when i = rule.r_insn ->
         hits := d :: !hits;
         go next
       | Some Insn.Ret -> ()
@@ -101,12 +115,12 @@ let reachable_vmfuncs code ~entries =
    it wholesale — correctness never depends on a hit. *)
 
 let memo_capacity = 256
-let memo : (int64, image * Report.violation list) Hashtbl.t =
+let memo : (int64, image * string * Report.violation list) Hashtbl.t =
   Hashtbl.create memo_capacity
 let memo_hits_ = ref 0
 let memo_misses_ = ref 0
 
-let fnv1a64 img =
+let fnv1a64 ~rule img =
   let h = ref 0xcbf29ce484222325L in
   let mix byte =
     h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
@@ -114,6 +128,7 @@ let fnv1a64 img =
   Bytes.iter (fun c -> mix (Char.code c)) img.bytes;
   mix (img.va land 0xff);
   mix (Hashtbl.hash (img.name, img.va, img.allowed, img.entries) land 0xffffff);
+  String.iter (fun c -> mix (Char.code c)) rule.r_tag;
   !h
 
 let same_image a b =
@@ -128,7 +143,12 @@ let memo_reset () =
   memo_hits_ := 0;
   memo_misses_ := 0
 
-let audit_uncached img =
+let hex_of_pattern p =
+  String.concat " "
+    (List.map (Printf.sprintf "%02X")
+       (List.init (Bytes.length p) (fun i -> Char.code (Bytes.get p i))))
+
+let audit_uncached ~rule img =
   let vs = ref [] in
   let add ?addr invariant detail =
     vs := Report.v ?addr ~invariant ~image:img.name detail :: !vs
@@ -137,9 +157,10 @@ let audit_uncached img =
   List.iter
     (fun at ->
       if not (in_allowed img.allowed at) then
-        add ~addr:at "gadget.vmfunc-pattern"
-          (Printf.sprintf "0F 01 D4 at va %#x" (img.va + at)))
-    (Sky_rewriter.Scan.find_pattern_paged img.bytes);
+        add ~addr:at (Printf.sprintf "gadget.%s-pattern" rule.r_tag)
+          (Printf.sprintf "%s at va %#x" (hex_of_pattern rule.r_pattern)
+             (img.va + at)))
+    (Sky_rewriter.Scan.find_pattern_paged ~pattern:rule.r_pattern img.bytes);
   (* 2. Every-offset self-repairing sweep. *)
   let aligned = aligned_starts img.bytes in
   List.iter
@@ -147,20 +168,22 @@ let audit_uncached img =
       let pat = pattern_off d in
       if not (in_allowed img.allowed pat) then
         if not (Hashtbl.mem aligned d.Decode.off) then
-          add ~addr:d.Decode.off "gadget.misaligned-vmfunc"
+          add ~addr:d.Decode.off
+            (Printf.sprintf "gadget.misaligned-%s" rule.r_tag)
             (Printf.sprintf
-               "vmfunc decodes at misaligned offset (va %#x, pattern at %#x)"
-               (img.va + d.Decode.off) (img.va + pat)))
-    (sweep_every_offset img.bytes);
+               "%s decodes at misaligned offset (va %#x, pattern at %#x)"
+               rule.r_tag (img.va + d.Decode.off) (img.va + pat)))
+    (sweep_every_offset ~rule img.bytes);
   (* 3. Recursive descent from the entry points. *)
   List.iter
     (fun d ->
       let pat = pattern_off d in
       if not (in_allowed img.allowed pat) then
-        add ~addr:d.Decode.off "gadget.reachable-vmfunc"
-          (Printf.sprintf "vmfunc reachable from entry (va %#x)"
+        add ~addr:d.Decode.off
+          (Printf.sprintf "gadget.reachable-%s" rule.r_tag)
+          (Printf.sprintf "%s reachable from entry (va %#x)" rule.r_tag
              (img.va + d.Decode.off)))
-    (reachable_vmfuncs img.bytes ~entries:img.entries);
+    (reachable_vmfuncs ~rule img.bytes ~entries:img.entries);
   (* 4. Undecodable regions are unverifiable, not trusted. Severity Warn:
      registration still refuses them, but a whole-machine sweep ranks
      them below proven gadget findings. *)
@@ -176,16 +199,22 @@ let audit_uncached img =
     (Decode.unknown_spans img.bytes);
   Report.sort !vs
 
-let audit img =
-  let h = fnv1a64 img in
+let audit_rule ~rule img =
+  let h = fnv1a64 ~rule img in
   match Hashtbl.find_opt memo h with
-  | Some (cached, vs) when same_image cached img ->
+  | Some (cached, tag, vs) when tag = rule.r_tag && same_image cached img ->
     incr memo_hits_;
     vs
   | _ ->
     incr memo_misses_;
-    let vs = audit_uncached img in
+    let vs = audit_uncached ~rule img in
     if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
     Hashtbl.replace memo h
-      ({ img with bytes = Bytes.copy img.bytes }, vs);
+      ({ img with bytes = Bytes.copy img.bytes }, rule.r_tag, vs);
     vs
+
+let audit img = audit_rule ~rule:vmfunc_rule img
+
+(* The ERIM-style binary scan of the MPK backend: prove a domain's code
+   carries no attacker-reachable WRPKRU outside the call gate. *)
+let audit_wrpkru img = audit_rule ~rule:wrpkru_rule img

@@ -16,7 +16,7 @@
     execute bit.
 
     The result is a {e sharing graph} — edges (frame, effective address
-    space, {r,w,x}) — over which five least-privilege invariants run,
+    space, {r,w,x}) — over which the least-privilege invariants run,
     with the mesh capability closure as ground truth:
 
     - [flow.shared-writable] — a frame writable from ≥ 2 address spaces
@@ -40,6 +40,10 @@
       outside the EPT roots the domain's bindings entitle it to. In
       particular a registered process must never see the base EPT's
       identity RWX view in a switchable slot.
+    - [flow.pkru-escape] — under the MPK backend, a domain's resting
+      PKRU view must grant write access to at most its own protection
+      key and the shared-buffer key; another domain's key writable at
+      rest is the MPK analogue of a leaked EPTP slot.
 
     A {e differential mode} ({!graph} / {!diff} / {!stale}) snapshots
     the sharing graph before and after a scenario: crash → restart →
@@ -73,6 +77,22 @@ type region = {
   r_len : int;  (** bytes; [r_pa, r_pa + r_len) is legitimately shared *)
 }
 
+(* The MPK backend's analogue of the EPTP-slot picture: each domain owns
+   a protection key and a resting PKRU view. The escape question becomes
+   "which keys does a resting view grant?" rather than "which EPT roots
+   can a slot reach?". *)
+type mpk_domain = {
+  m_pid : int;
+  m_name : string;
+  m_key : int;  (** the protection key tagging this domain's pages *)
+  m_view : int;  (** the resting PKRU installed when this domain runs *)
+}
+
+type mpk = {
+  m_domains : mpk_domain list;
+  m_shared_key : int;  (** the key tagging registered shared buffers *)
+}
+
 type input = {
   mem : Sky_mem.Phys_mem.t;
   domains : domain list;
@@ -87,6 +107,9 @@ type input = {
   trampoline_va : int;
   trampoline_gpa : int;
   trampoline_bytes : bytes;  (** live content of the shared frame *)
+  mpk : mpk option;
+      (** present when the machine runs the MPK backend — enables
+          [flow.pkru-escape] *)
 }
 
 (* ---- the composed PT∘EPT walker ---- *)
@@ -370,6 +393,35 @@ let check_slot_escape inp vs =
         slots)
     inp.cores
 
+(* The MPK analogue of slot-escape: a domain's {e resting} PKRU view may
+   grant write access to exactly its own key and the shared-buffer key.
+   Write access to another domain's key in the resting view is an escape
+   — the elevated server view only ever lives inside the call gate,
+   between the paired WRPKRUs, and never rests. Domains sharing a
+   (virtualized) key are indistinguishable at the MPK level and are
+   skipped; their separation rests on the page-table invariants above. *)
+let check_pkru_escape inp vs =
+  match inp.mpk with
+  | None -> ()
+  | Some mpk ->
+    List.iter
+      (fun d ->
+        List.iter
+          (fun o ->
+            if o.m_pid <> d.m_pid && o.m_key <> d.m_key
+               && o.m_key <> mpk.m_shared_key
+               && Pkru.allows_write ~pkru:d.m_view ~key:o.m_key
+            then
+              vs :=
+                Report.v ~addr:d.m_view ~invariant:"flow.pkru-escape"
+                  ~image:d.m_name
+                  (Printf.sprintf
+                     "resting PKRU view grants write to %s's key %d"
+                     o.m_name o.m_key)
+                :: !vs)
+          mpk.m_domains)
+      mpk.m_domains
+
 let check inp =
   let vs = ref [] in
   let g = graph inp in
@@ -378,6 +430,7 @@ let check inp =
   check_trampoline inp vs;
   check_closure inp vs;
   check_slot_escape inp vs;
+  check_pkru_escape inp vs;
   Report.sort !vs
 
 (* ---- differential mode ---- *)

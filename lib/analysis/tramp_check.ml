@@ -25,7 +25,20 @@
     RSP are preserved. That assumption is exactly what registration
     enforces on handlers, and it is the contract the trampoline relies
     on in the real system. Conditional branches explore both arms, so
-    the register/stack facts hold on {e all} paths. *)
+    the register/stack facts hold on {e all} paths.
+
+    The [?flavor] parameter selects which isolation mechanism the gate
+    is allowed — and required — to use. [`Vmfunc] (the default) is the
+    rules above. [`Mpk] replaces the VMFUNC-pairing/index-flow rules
+    with WRPKRU rules: gates pair entry/return
+    ([trampoline.wrpkru-pairing]), each provably executes with
+    ECX = EDX = 0 ([trampoline.wrpkru-operands], the hardware #GP
+    condition ERIM relies on), the entry gate loads the server view
+    from RDI and the return gate restores the client PKRU from R9
+    ([trampoline.wrpkru-index-flow]). [`Syscall] requires at least one
+    kernel entry per path ([trampoline.syscall-missing]) and models
+    SYSCALL's RCX/R11 clobbers. In every flavor, the other mechanisms'
+    instructions are [trampoline.unexpected-insn]. *)
 
 open Sky_isa
 
@@ -46,6 +59,10 @@ type state = {
   regs : av array;  (** indexed by {!Reg.encoding} *)
   stack : (int * av) list;  (** [depth below entry RSP -> value] *)
   vmfuncs : (av * av) list;  (** (RAX, RCX) at each VMFUNC, in order *)
+  wrpkrus : (av * av * av) list;
+      (** (RAX, RCX, RDX) at each WRPKRU, in order — the MPK flavor's
+          gates *)
+  syscalls : int;  (** SYSCALLs on this path — the syscall flavor *)
 }
 
 let get st r = st.regs.(Reg.encoding r)
@@ -67,31 +84,19 @@ let initial_state () =
         let r = Reg.of_encoding i in
         if Reg.equal r Reg.Rsp then Sp 0 else Init r)
   in
-  { regs; stack = []; vmfuncs = [] }
+  { regs; stack = []; vmfuncs = []; wrpkrus = []; syscalls = 0 }
 
 (* Paths through straight-line trampoline code are short; the fuel bound
    only exists to terminate on adversarial (looping) input. *)
 let max_steps = 4096
 
-let check ?(image = "trampoline") code =
+let check ?(image = "trampoline") ?(flavor = `Vmfunc) code =
   let vs = ref [] in
   let add ?addr invariant detail =
     vs := Report.v ?addr ~invariant ~image detail :: !vs
   in
   let rets = ref 0 in
-  let at_ret off st =
-    incr rets;
-    (match get st Reg.Rsp with
-    | Sp 0 -> ()
-    | _ ->
-      add ~addr:off "trampoline.rsp-restored"
-        "RSP does not equal its entry value at RET");
-    List.iter
-      (fun r ->
-        if not (av_equal (get st r) (Init r)) then
-          add ~addr:off "trampoline.callee-saved"
-            (Printf.sprintf "%s not restored at RET" (Reg.name r)))
-      callee_saved;
+  let check_vmfunc_gates off st =
     let pairs = List.rev st.vmfuncs in
     if List.length pairs = 0 then
       add ~addr:off "trampoline.vmfunc-pairing" "path executes no VMFUNC"
@@ -115,6 +120,59 @@ let check ?(image = "trampoline") code =
             (Printf.sprintf "VMFUNC #%d: return switch RCX is not 0" i))
       pairs
   in
+  (* The MPK call gate: WRPKRUs pair entry/return; each one provably
+     satisfies the hardware's ECX = EDX = 0 requirement; the entry gate
+     loads the server view the caller passed in RDI; the return gate
+     restores the client's resting PKRU passed in R9. *)
+  let check_wrpkru_gates off st =
+    let gates = List.rev st.wrpkrus in
+    if List.length gates = 0 then
+      add ~addr:off "trampoline.wrpkru-pairing" "path executes no WRPKRU"
+    else if List.length gates mod 2 <> 0 then
+      add ~addr:off "trampoline.wrpkru-pairing"
+        (Printf.sprintf "path executes %d WRPKRUs (must pair entry/return)"
+           (List.length gates));
+    List.iteri
+      (fun i (rax, rcx, rdx) ->
+        if not (av_equal rcx (Const 0L) && av_equal rdx (Const 0L)) then
+          add ~addr:off "trampoline.wrpkru-operands"
+            (Printf.sprintf "WRPKRU #%d: ECX/EDX not provably 0 (hardware #GP)"
+               i);
+        if i mod 2 = 0 then begin
+          if not (av_equal rax (Init Reg.Rdi)) then
+            add ~addr:off "trampoline.wrpkru-index-flow"
+              (Printf.sprintf
+                 "WRPKRU #%d: RAX does not carry the server view from RDI" i)
+        end
+        else if not (av_equal rax (Init Reg.R9)) then
+          add ~addr:off "trampoline.wrpkru-index-flow"
+            (Printf.sprintf
+               "WRPKRU #%d: return gate RAX does not restore the client PKRU \
+                from R9"
+               i))
+      gates
+  in
+  let at_ret off st =
+    incr rets;
+    (match get st Reg.Rsp with
+    | Sp 0 -> ()
+    | _ ->
+      add ~addr:off "trampoline.rsp-restored"
+        "RSP does not equal its entry value at RET");
+    List.iter
+      (fun r ->
+        if not (av_equal (get st r) (Init r)) then
+          add ~addr:off "trampoline.callee-saved"
+            (Printf.sprintf "%s not restored at RET" (Reg.name r)))
+      callee_saved;
+    match flavor with
+    | `Vmfunc -> check_vmfunc_gates off st
+    | `Mpk -> check_wrpkru_gates off st
+    | `Syscall ->
+      if st.syscalls = 0 then
+        add ~addr:off "trampoline.syscall-missing"
+          "path reaches RET without entering the kernel"
+  in
   let n = Bytes.length code in
   let rec step off st fuel =
     if fuel <= 0 then add ~addr:off "trampoline.diverges" "step bound exceeded"
@@ -131,9 +189,26 @@ let check ?(image = "trampoline") code =
       | Some insn -> (
         match insn with
         | Insn.Ret -> at_ret off st
-        | Insn.Vmfunc ->
-          continue
-            { st with vmfuncs = (get st Reg.Rax, get st Reg.Rcx) :: st.vmfuncs }
+        | Insn.Vmfunc -> (
+          match flavor with
+          | `Vmfunc ->
+            continue
+              { st with
+                vmfuncs = (get st Reg.Rax, get st Reg.Rcx) :: st.vmfuncs }
+          | `Mpk | `Syscall ->
+            add ~addr:off "trampoline.unexpected-insn"
+              "VMFUNC in a non-VMFUNC backend's call gate")
+        | Insn.Wrpkru -> (
+          match flavor with
+          | `Mpk ->
+            continue
+              { st with
+                wrpkrus =
+                  (get st Reg.Rax, get st Reg.Rcx, get st Reg.Rdx)
+                  :: st.wrpkrus }
+          | `Vmfunc | `Syscall ->
+            add ~addr:off "trampoline.unexpected-insn"
+              "WRPKRU in a non-MPK backend's call gate")
         | Insn.Push r -> (
           match get st Reg.Rsp with
           | Sp depth ->
@@ -169,9 +244,22 @@ let check ?(image = "trampoline") code =
           continue st
         | Insn.Xor_rr (dst, src) when Reg.equal dst src ->
           continue (set st dst (Const 0L))
-        | Insn.Syscall | Insn.Cpuid ->
+        | Insn.Syscall -> (
+          match flavor with
+          | `Syscall ->
+            (* The kernel round trip: SYSCALL clobbers RCX/R11 with
+               RIP/RFLAGS, and the slowpath's return value lands in RAX.
+               Callee-saved registers and RSP survive (kernel ABI). *)
+            let st = { st with syscalls = st.syscalls + 1 } in
+            continue
+              (List.fold_left (fun st r -> set st r Top) st
+                 [ Reg.Rax; Reg.Rcx; Reg.R11 ])
+          | `Vmfunc | `Mpk ->
+            add ~addr:off "trampoline.unexpected-insn"
+              "trampoline must not enter the kernel")
+        | Insn.Cpuid ->
           add ~addr:off "trampoline.unexpected-insn"
-            "trampoline must not enter the kernel"
+            "trampoline must not execute CPUID"
         | insn ->
           (* Anything else conservatively havocks what it writes. *)
           continue

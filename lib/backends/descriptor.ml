@@ -1,0 +1,49 @@
+(** A first-class description of one isolation backend: the declarative
+    facts the cross-mechanism matrix reports next to the measured cycle
+    numbers.
+
+    {!Sky_core.Backend} is the mechanism switch the Subkernel consumes;
+    this record is what the showdown says {e about} each mechanism —
+    which audit passes carry its security argument, whether the kernel
+    sits on the IPC path, what the architectural switch costs per leg,
+    and what invalidating a grant means. Keeping it data (rather than
+    prose in DESIGN.md only) lets [skybench matrix] print the same
+    security matrix it gates on. *)
+
+type t = {
+  d_kind : Sky_core.Backend.kind;
+  d_name : string;  (** CLI spelling: ["vmfunc"] / ["mpk"] / ["syscall"] *)
+  d_title : string;  (** one-line mechanism description *)
+  d_switch_cycles : int;
+      (** architectural switch cost per crossing leg (two legs per call) *)
+  d_kernel_on_path : bool;
+      (** does a normal call enter the kernel? (only the syscall backend) *)
+  d_tlb_flush_on_switch : bool;
+      (** does a crossing flush translations? (only the syscall backend's
+          un-PCID'd CR3 write) *)
+  d_shared_address_space : bool;
+      (** do domains share one address space? (only MPK — its isolation
+          is the PKRU view, not the page tables) *)
+  d_audit_passes : string list;
+      (** the {!Sky_analysis.Audit} passes that carry this mechanism's
+          security argument (beyond the always-on gadget/ept/isoflow) *)
+  d_invalidation : string;
+      (** what [revoke_binding] architecturally does under this backend *)
+  d_security : string;  (** the one-paragraph security argument *)
+}
+
+let name d = d.d_name
+let kind d = d.d_kind
+let switch_cycles d = d.d_switch_cycles
+
+(** Round-trip switch cost: both legs of one call. *)
+let round_trip d = 2 * d.d_switch_cycles
+
+let to_json d =
+  Printf.sprintf
+    "{\"backend\":\"%s\",\"switch_cycles_leg\":%d,\"kernel_on_path\":%b,\
+     \"tlb_flush_on_switch\":%b,\"shared_address_space\":%b,\
+     \"audit_passes\":[%s]}"
+    d.d_name d.d_switch_cycles d.d_kernel_on_path d.d_tlb_flush_on_switch
+    d.d_shared_address_space
+    (String.concat "," (List.map (Printf.sprintf "\"%s\"") d.d_audit_passes))

@@ -1,0 +1,38 @@
+(** ERIM-style MPK: a WRPKRU call gate switches the PKRU view (no
+    address-space or TLB interaction at all).
+
+    All domains share one address space; each gets a protection key and
+    a resting PKRU view allowing only {e its} key plus the shared key 0.
+    A crossing is one WRPKRU to the server's view — 26 cycles, the
+    cheapest switch of the three — and the whole security argument is
+    static: WRPKRU is unprivileged, so the binary inspection (the
+    [wrpkru] audit pass) must prove no WRPKRU encoding survives outside
+    the trampoline's two gates, and the trampoline check ([`Mpk]
+    flavor) must prove those gates zero ECX/EDX (the hardware faults
+    otherwise) and load RAX only from the blessed view registers. The
+    [flow.pkru-escape] Isoflow invariant closes the loop: no resting
+    view may grant write to another domain's key. Revocation has
+    nothing architectural to tear down — the elevated view exists only
+    inside the gate — so it is purely the Subkernel's binding/key-table
+    bookkeeping, which is why the crash-and-rebind regression matters
+    most here. *)
+
+let descriptor =
+  {
+    Descriptor.d_kind = Sky_core.Backend.Mpk;
+    d_name = "mpk";
+    d_title = "MPK protection keys with a WRPKRU call gate (ERIM-style)";
+    d_switch_cycles = Sky_core.Backend.switch_cycles Sky_core.Backend.Mpk;
+    d_kernel_on_path = false;
+    d_tlb_flush_on_switch = false;
+    d_shared_address_space = true;
+    d_audit_passes = [ "wrpkru"; "trampoline"; "isoflow" ];
+    d_invalidation =
+      "Nothing architectural: the elevated PKRU view exists only between \
+       the gate's two WRPKRUs; revocation is the binding + calling-key \
+       bookkeeping alone";
+    d_security =
+      "No WRPKRU encoding outside the trampoline (ERIM binary scan); gates \
+       zero ECX/EDX and load RAX from blessed registers only; resting PKRU \
+       views are pairwise write-disjoint (flow.pkru-escape)";
+  }

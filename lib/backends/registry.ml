@@ -1,0 +1,23 @@
+(** The backend registry: every isolation backend behind one lookup, in
+    showdown order (fastest switch last so tables read
+    baseline → contender). *)
+
+let all =
+  [
+    Vmfunc_backend.descriptor; Mpk_backend.descriptor;
+    Syscall_backend.descriptor;
+  ]
+
+let find kind = List.find (fun d -> Descriptor.kind d = kind) all
+
+let of_string s =
+  match Sky_core.Backend.of_string s with
+  | Some k -> Some (find k)
+  | None -> None
+
+let names () = List.map Descriptor.name all
+
+(** Run [f] with [kind] as the process-wide default backend (restored
+    afterwards) — every [Subkernel.init] inside picks it up, so whole
+    experiments re-run against another mechanism unchanged. *)
+let with_backend kind f = Sky_core.Backend.with_default kind f

@@ -1,0 +1,34 @@
+(** "Syscall as a privilege": every crossing traps into a filtered
+    kernel slowpath.
+
+    The trampoline's SYSCALL hands control to the kernel, which charges
+    the full round trip — entry + swapgs, the per-domain
+    allowed-entry-point check ({!Sky_ukernel.Entry_filter}), an
+    un-PCID'd CR3 write (which flushes), swapgs + SYSRET — before the
+    handler runs. Slowest of the three by an order of magnitude, but
+    the security argument is the simplest: the kernel is on every call
+    path, the grant table is the single source of authority, and the
+    [entryfilter] audit pass proves every granted entry VA falls inside
+    a blessed code range (the trampoline page). Revocation removes the
+    grant, so the very next trap is denied at the filter — there is no
+    user-mode state to chase. *)
+
+let descriptor =
+  {
+    Descriptor.d_kind = Sky_core.Backend.Syscall;
+    d_name = "syscall";
+    d_title = "Filtered-syscall kernel slowpath with a per-domain entry table";
+    d_switch_cycles = Sky_core.Backend.switch_cycles Sky_core.Backend.Syscall;
+    d_kernel_on_path = true;
+    d_tlb_flush_on_switch = true;
+    d_shared_address_space = false;
+    d_audit_passes = [ "trampoline"; "entryfilter"; "ept"; "isoflow" ];
+    d_invalidation =
+      "The (client pid, server id) grant is removed from the kernel's entry \
+       filter; the next trap is denied at check time — no user-mode state \
+       to invalidate";
+    d_security =
+      "The kernel mediates every crossing; the entry filter allows only \
+       granted (client, server, entry) triples, and the entryfilter audit \
+       pass proves every granted entry VA falls inside a blessed code range";
+  }

@@ -1,0 +1,32 @@
+(** The paper's mechanism: user-mode EPTP-list switching (§4).
+
+    A crossing is one VMFUNC(0, idx) through the trampoline page — no
+    kernel entry, no TLB flush (translations are tagged by EPTP+VPID).
+    Security rests on three pillars the audit enforces: the binary
+    rewriter leaves no VMFUNC encoding outside the trampoline (gadget
+    pass), the trampoline is the execute-only page whose gates load the
+    index from the calling-key check (trampoline pass, [`Vmfunc]
+    flavor), and every binding EPT maps exactly the granted windows
+    W^X-clean (ept + isoflow passes). Revocation degenerates the EPTP
+    slot to the client's own root, so an in-flight or replayed VMFUNC
+    lands back in the caller, not the server. *)
+
+let descriptor =
+  {
+    Descriptor.d_kind = Sky_core.Backend.Vmfunc;
+    d_name = "vmfunc";
+    d_title = "VMFUNC EPTP-list switching through the trampoline (SkyBridge)";
+    d_switch_cycles = Sky_core.Backend.switch_cycles Sky_core.Backend.Vmfunc;
+    d_kernel_on_path = false;
+    d_tlb_flush_on_switch = false;
+    d_shared_address_space = false;
+    d_audit_passes = [ "gadget"; "trampoline"; "ept"; "isoflow" ];
+    d_invalidation =
+      "EPTP slot degenerates to the client's own EPT root (slot positions \
+       stay stable); the calling-key entry is zeroed; installed EPTP lists \
+       are refreshed";
+    d_security =
+      "No VMFUNC encoding outside the execute-only trampoline (rewriter + \
+       gadget scan); binding EPTs map only granted windows; a forged index \
+       lands in a degenerate slot = the caller's own space";
+  }

@@ -1,0 +1,65 @@
+(** The isolation-backend axis: which hardware mechanism carries a
+    mediated cross-domain call.
+
+    SkyBridge's design point — VMFUNC EPTP switching — is one of three
+    ways to give a client a controlled window into a server's domain.
+    This module makes the choice a first-class, per-run parameter so the
+    same experiments, chaos storms and audits run against all three and
+    the cost/security trade-off becomes measurable rather than asserted:
+
+    - [Vmfunc] — the paper's mechanism. User-mode EPTP-list switching
+      through the trampoline page; the kernel stays off the IPC path.
+    - [Mpk] — ERIM-style protection keys. A WRPKRU call gate switches
+      the PKRU view; no address-space or TLB interaction at all, but all
+      domains share one address space and security rests on the WRPKRU
+      binary scan.
+    - [Syscall] — "syscall as a privilege": every crossing traps into a
+      filtered kernel slowpath whose per-domain allowed-entry-point
+      table is checked at trap time.
+
+    The process-wide [default] mirrors {!Sky_sim.Accel}'s kill switch:
+    {!Subkernel.init} picks it up unless told otherwise, so every
+    existing experiment runs unchanged under whichever backend the CLI
+    selected. *)
+
+type kind = Vmfunc | Mpk | Syscall
+
+let all = [ Vmfunc; Mpk; Syscall ]
+
+let name = function
+  | Vmfunc -> "vmfunc"
+  | Mpk -> "mpk"
+  | Syscall -> "syscall"
+
+let of_string = function
+  | "vmfunc" -> Some Vmfunc
+  | "mpk" -> Some Mpk
+  | "syscall" -> Some Syscall
+  | _ -> None
+
+let pp fmt k = Format.pp_print_string fmt (name k)
+
+let default = ref Vmfunc
+let set_default k = default := k
+
+let with_default k f =
+  let saved = !default in
+  default := k;
+  Fun.protect ~finally:(fun () -> default := saved) f
+
+(* The per-leg cost of the architectural switch itself (the rest of a
+   crossing — save/restore, stack install — is mechanism-independent and
+   charged by the trampoline). The syscall figure is the whole kernel
+   round trip charged by the slowpath, not a single instruction. *)
+let switch_cycles = function
+  | Vmfunc -> Sky_sim.Costs.vmfunc
+  | Mpk -> Sky_sim.Costs.wrpkru
+  | Syscall ->
+    Sky_sim.Costs.syscall + Sky_sim.Costs.swapgs
+    + Sky_sim.Costs.entry_filter_check + Sky_sim.Costs.cr3_write
+    + Sky_sim.Costs.swapgs + Sky_sim.Costs.sysret
+
+let tramp_flavor = function
+  | Vmfunc -> `Vmfunc
+  | Mpk -> `Mpk
+  | Syscall -> `Syscall

@@ -213,6 +213,16 @@ let run kernel ~core ~entry ?regs ?(max_steps = 100_000) () =
             ~func:(Int64.to_int (get regs Reg.Rax))
             ~index:(Int64.to_int (get regs Reg.Rcx));
           continue ()
+        | Insn.Wrpkru ->
+          (* Hardware faults unless ECX = EDX = 0; the simulated machine
+             does too, so a call gate with sloppy operand discipline dies
+             here even if the static auditor was bypassed. *)
+          if get regs Reg.Rcx <> 0L || get regs Reg.Rdx <> 0L then
+            raise (Exec_fault "wrpkru with ECX/EDX nonzero");
+          Sky_trace.Trace.instant ~core ~cat:"vmfunc" "exec.wrpkru";
+          Sky_mmu.Wrpkru.execute vcpu
+            ~pkru:(Int64.to_int (Int64.logand (get regs Reg.Rax) 0xffff_ffffL));
+          continue ()
         | Insn.Cpuid ->
           set regs Reg.Rax 0x16L;
           set regs Reg.Rbx 0x756e_6547L;

@@ -37,14 +37,31 @@ type server = {
   deps : int list;
 }
 
+(* What a binding materializes as, per isolation backend: the VMFUNC
+   backend builds a binding EPT (an EPTP-list slot candidate); the MPK
+   backend precomputes the elevated PKRU view the call gate installs;
+   the filtered-syscall backend records the granted kernel entry point
+   (the grant itself lives in the kernel's {!Entry_filter}). *)
+type mech =
+  | Meptp of Ept.t
+  | Mpkey of { view : int; sproc : Proc.t }
+  | Mentry of int
+
 type binding = {
   b_server_id : int;
   server_key : int64;
   buffer_vas : int array;  (** one per server connection/stack *)
   buffer_pas : int array;  (** backing frames, for re-sharing on rebind *)
-  ept : Ept.t;
+  mech : mech;
   mutable last_use : int;  (** for EPTP-list LRU eviction *)
 }
+
+(* Only the VMFUNC backend ever puts a binding in an EPTP list, so the
+   installed list is Meptp-only by construction. *)
+let binding_ept_exn b =
+  match b.mech with
+  | Meptp e -> e
+  | Mpkey _ | Mentry _ -> invalid_arg "Subkernel: binding has no EPT"
 
 type pstate = {
   proc : Proc.t;
@@ -56,12 +73,18 @@ type pstate = {
   mutable installed : binding list;  (** subset currently in the EPTP list *)
   mutable revoked : int list;  (** server ids whose binding was revoked *)
   mutable p_evictions : int;  (** EPTP-slot LRU evictions in this process *)
+  pkey : int;  (** MPK: the protection key tagging this domain (0 = none) *)
+  pkru_view : int;  (** MPK: resting PKRU view installed when scheduled *)
 }
 
 type t = {
   kernel : Kernel.t;
   root : Rootkernel.t;
   rng : Rng.t;
+  backend : Backend.kind;  (** the isolation mechanism carrying crossings *)
+  entry_filter : Entry_filter.t;
+      (** the filtered-syscall backend's per-domain grant table *)
+  mutable next_pkey : int;  (** MPK key allocator (virtualized mod 15) *)
   mutable servers : server list;
   pstates : (int, pstate) Hashtbl.t;
   mutable next_server_id : int;
@@ -101,6 +124,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let rootkernel t = t.root
 let kernel t = t.kernel
+let backend t = t.backend
+let entry_filter t = t.entry_filter
 let stats t = t.stats
 let calls t = t.calls
 let evictions t = t.evictions
@@ -165,13 +190,19 @@ let bindings t =
   |> List.sort compare
 
 let eptp_list_of ps =
-  Ept.root_pa ps.own_ept :: List.map (fun b -> Ept.root_pa b.ept) ps.installed
+  Ept.root_pa ps.own_ept
+  :: List.map (fun b -> Ept.root_pa (binding_ept_exn b)) ps.installed
 
 (* Install the EPTP list for [proc] on [core] — called from the kernel's
    context-switch hook. Only processes registered into SkyBridge carry a
    list; switching between unregistered processes keeps the base list
-   installed and costs no VM exit (Table 5). *)
+   installed and costs no VM exit (Table 5). Under the MPK backend the
+   scheduled process additionally gets its resting PKRU view. *)
 let install_for t ~core proc =
+  (match (t.backend, pstate_opt t proc) with
+  | Backend.Mpk, Some ps ->
+    (Kernel.vcpu t.kernel ~core).Vcpu.pkru <- ps.pkru_view
+  | _ -> ());
   match pstate_opt t proc with
   | Some ps -> Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps)
   | None ->
@@ -180,11 +211,13 @@ let install_for t ~core proc =
     if Vmcs.eptp_at vmcs ~index:0 <> base || Vmcs.current_index vmcs <> 0 then
       Rootkernel.install_eptp_list t.root ~core [ base ]
 
-let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
-    ?(max_bindings = max_int) ?(seed = 0x5b1d) kernel =
+let init ?backend ?(vpid = true) ?(huge_ept = true)
+    ?(max_eptp = Vmcs.eptp_list_size) ?(max_bindings = max_int)
+    ?(seed = 0x5b1d) kernel =
   if max_bindings < 1 then invalid_arg "Subkernel.init: max_bindings";
+  let backend = match backend with Some b -> b | None -> !Backend.default in
   let root = Rootkernel.boot ~vpid ~huge_ept kernel in
-  let trampoline_bytes = Trampoline.code () in
+  let trampoline_bytes = Trampoline.code_for backend in
   let trampoline_frame = Frame_alloc.alloc_frame (Kernel.alloc kernel) in
   Phys_mem.write_bytes (Kernel.mem kernel) trampoline_frame trampoline_bytes;
   let t =
@@ -192,6 +225,9 @@ let init ?(vpid = true) ?(huge_ept = true) ?(max_eptp = Vmcs.eptp_list_size)
       kernel;
       root;
       rng = Rng.create ~seed;
+      backend;
+      entry_filter = Entry_filter.create ();
+      next_pkey = 1;
       servers = [];
       pstates = Hashtbl.create 16;
       next_server_id = 1;
@@ -274,9 +310,18 @@ let gadget_images t proc =
 
 (* Mandatory post-pass at registration: independently prove the rewrite
    result before the process gains a trampoline mapping. A process whose
-   executable pages cannot be verified must not join SkyBridge. *)
+   executable pages cannot be verified must not join SkyBridge. Under
+   the MPK backend the same images must additionally prove free of
+   WRPKRU occurrences (ERIM's inspection requirement): a stray
+   [0F 01 EF] would let the domain rewrite its own PKRU. *)
 let audit_registration t proc =
-  let vs = List.concat_map Sky_analysis.Gadget.audit (gadget_images t proc) in
+  let images = gadget_images t proc in
+  let vs = List.concat_map Sky_analysis.Gadget.audit images in
+  let vs =
+    if t.backend = Backend.Mpk then
+      vs @ List.concat_map Sky_analysis.Gadget.audit_wrpkru images
+    else vs
+  in
   if vs <> [] then begin
     List.iter (fun v -> security t (Sky_analysis.Report.to_string v)) vs;
     raise (Audit_failed vs)
@@ -304,6 +349,19 @@ let ensure_pstate t proc =
       ~pa:t.trampoline_frame ~len:4096 ~flags:Pte.urx;
     let own_ept = Rootkernel.new_process_ept t.root proc in
     harden_trampoline_ept t own_ept;
+    (* MPK: hand the domain a protection key and its resting view (own
+       key + the shared-buffer key 0). With more domains than the 15
+       non-default hardware keys, keys are virtualized round-robin —
+       domains sharing a key fall back to page-table separation, which
+       the Isoflow pkru-escape check accounts for. *)
+    let pkey =
+      match t.backend with
+      | Backend.Mpk ->
+        let k = ((t.next_pkey - 1) mod 15) + 1 in
+        t.next_pkey <- t.next_pkey + 1;
+        k
+      | Backend.Vmfunc | Backend.Syscall -> 0
+    in
     let ps =
       {
         proc;
@@ -316,6 +374,9 @@ let ensure_pstate t proc =
         installed = [];
         revoked = [];
         p_evictions = 0;
+        pkey;
+        pkru_view =
+          (if t.backend = Backend.Mpk then Pkru.allow_only [ 0; pkey ] else 0);
       }
     in
     Hashtbl.replace t.pstates proc.Proc.pid ps;
@@ -451,8 +512,28 @@ let fresh_key t =
 
 let bind_one t ps ~server_id ~key ~share_with =
   let srv = find_server t server_id in
-  let ept = Rootkernel.bind_ept t.root ~client:ps.proc ~server:srv.sproc in
-  harden_trampoline_ept t ept;
+  let mech =
+    match t.backend with
+    | Backend.Vmfunc ->
+      let ept = Rootkernel.bind_ept t.root ~client:ps.proc ~server:srv.sproc in
+      harden_trampoline_ept t ept;
+      Meptp ept
+    | Backend.Mpk ->
+      (* The elevated view the call gate installs for the handler's
+         duration: the server's key plus the shared-buffer key. *)
+      let spk =
+        match pstate_opt t srv.sproc with
+        | Some sps -> sps.pkey
+        | None -> invalid_arg "Subkernel.bind_one: server not registered"
+      in
+      Mpkey { view = Pkru.allow_only [ 0; spk ]; sproc = srv.sproc }
+    | Backend.Syscall ->
+      (* Grant the kernel entry point; the trap-time filter will match
+         it exactly. The gate page is the only blessed entry range. *)
+      Entry_filter.allow t.entry_filter ~pid:ps.proc.Proc.pid ~server:server_id
+        ~entry:Layout.trampoline_va;
+      Mentry Layout.trampoline_va
+  in
   (* Shared buffers, one per server connection, mapped at the same VA in
      every address space of the call chain: the client, the target
      server, and any intermediate servers (which fill the buffer when
@@ -480,13 +561,16 @@ let bind_one t ps ~server_id ~key ~share_with =
         va)
   in
   let b =
-    { b_server_id = server_id; server_key = key; buffer_vas; buffer_pas; ept;
+    { b_server_id = server_id; server_key = key; buffer_vas; buffer_pas; mech;
       last_use = 0 }
   in
   ps.bindings <- ps.bindings @ [ b ];
   t.live_bindings <- t.live_bindings + 1;
-  if List.length ps.installed + 1 < t.max_eptp then
-    ps.installed <- ps.installed @ [ b ];
+  (match mech with
+  | Meptp _ ->
+    if List.length ps.installed + 1 < t.max_eptp then
+      ps.installed <- ps.installed @ [ b ]
+  | Mpkey _ | Mentry _ -> ());
   b
 
 (* The key a process uses to call [server_id]: its own binding's key. *)
@@ -616,7 +700,7 @@ let dummy_binding ps =
     server_key = 0L;
     buffer_vas = [||];
     buffer_pas = [||];
-    ept = ps.own_ept;
+    mech = Meptp ps.own_ept;
     last_use = 0;
   }
 
@@ -644,8 +728,20 @@ let revoke_binding ?(orphan = true) t ~core proc ~server_id ~reason =
     | Some b ->
       ps.bindings <- List.filter (fun x -> x != b) ps.bindings;
       t.live_bindings <- t.live_bindings - 1;
-      ps.installed <-
-        List.map (fun x -> if x == b then dummy_binding ps else x) ps.installed;
+      (* Per-mechanism invalidation: the VMFUNC backend degenerates the
+         EPTP slot in place (in-flight nested frames hold slot indices);
+         the filtered-syscall backend erases the kernel grant, so the
+         very next trap is denied; the MPK backend has nothing standing
+         — the elevated view only ever exists inside the call gate and
+         the binding's disappearance already unreaches it. *)
+      (match b.mech with
+      | Meptp _ ->
+        ps.installed <-
+          List.map (fun x -> if x == b then dummy_binding ps else x)
+            ps.installed
+      | Mentry _ ->
+        Entry_filter.revoke t.entry_filter ~pid:proc.Proc.pid ~server:server_id
+      | Mpkey _ -> ());
       if not (List.mem server_id ps.revoked) then
         ps.revoked <- server_id :: ps.revoked;
       (* [orphan = false] is the capability-revocation path: the teardown
@@ -826,7 +922,8 @@ let ensure_installed t ~core ps b =
   | Some idx ->
     (* The list in the VMCS may predate this binding (registered after
        the client was last scheduled): refresh it if stale. *)
-    if Vmcs.eptp_at vmcs ~index:idx <> Ept.root_pa b.ept then refresh ();
+    if Vmcs.eptp_at vmcs ~index:idx <> Ept.root_pa (binding_ept_exn b) then
+      refresh ();
     idx
   | None ->
     let saved_index = Vmcs.current_index vmcs in
@@ -847,6 +944,77 @@ let ensure_installed t ~core ps b =
     Rootkernel.install_eptp_list t.root ~core (eptp_list_of ps);
     vmcs.Vmcs.current_index <- saved_index;
     (match binding_index ps b with Some i -> i | None -> assert false)
+
+(* ---- the per-mechanism crossing ----
+
+   [cross_enter] switches the vCPU into the server's domain and returns
+   the token [cross_leave] needs to switch back; the pair is the only
+   place the three mechanisms differ on the hot path. The VMFUNC legs
+   are byte-for-byte the original EPTP switches (the cost-neutrality
+   gate holds the pingpong budget to ±2%). *)
+type cross_token =
+  | Tindex of int  (** VMFUNC: the EPTP index to return to *)
+  | Tpkru of { pkru : int; cr3 : int; pcid : int }  (** MPK: client state *)
+  | Tcr3 of { cr3 : int; pcid : int }  (** syscall: client translation *)
+
+let cross_enter t ~core vcpu ps b srv ~idx =
+  match b.mech with
+  | Meptp _ ->
+    let idx = match idx with Some i -> i | None -> assert false in
+    let return_index = Vmcs.current_index (Vcpu.vmcs_exn vcpu) in
+    Vmfunc.execute vcpu ~func:0 ~index:idx;
+    Tindex return_index
+  | Mpkey { view; sproc } ->
+    let token =
+      Tpkru { pkru = vcpu.Vcpu.pkru; cr3 = vcpu.Vcpu.cr3; pcid = vcpu.Vcpu.pcid }
+    in
+    (* The architectural switch is the WRPKRU alone: no EPTP change, no
+       CR3 write, no flush. The CR3/PCID assignment below is the
+       single-address-space emulation — under MPK client and server
+       share one address space, which this machine models by viewing
+       the server's page tables uncharged. Giving the borrowed view the
+       server's own PCID tag keeps the TLB sound without a flush: the
+       client's untagged entries stay filed under its own ASID. *)
+    Wrpkru.execute vcpu ~pkru:view;
+    vcpu.Vcpu.cr3 <- Proc.cr3 sproc;
+    vcpu.Vcpu.pcid <- sproc.Proc.pid;
+    token
+  | Mentry entry ->
+    let token = Tcr3 { cr3 = vcpu.Vcpu.cr3; pcid = vcpu.Vcpu.pcid } in
+    (* The filtered kernel slowpath: trap, check the grant table before
+       anything else, then a full (flushing) CR3 switch into the
+       server. A missing grant is denied at the cheapest point. *)
+    Kernel.kernel_entry t.kernel ~core;
+    Cpu.charge (Kernel.cpu t.kernel ~core) Costs.entry_filter_check;
+    if
+      not
+        (Entry_filter.check t.entry_filter ~pid:ps.proc.Proc.pid
+           ~server:b.b_server_id ~entry)
+    then begin
+      Kernel.kernel_exit t.kernel ~core;
+      security t
+        (Printf.sprintf "entry filter denied pid %d -> server %d"
+           ps.proc.Proc.pid b.b_server_id);
+      raise (Binding_revoked { server_id = b.b_server_id })
+    end;
+    Vcpu.write_cr3 vcpu ~cr3:(Proc.cr3 srv.sproc) ~pcid:srv.sproc.Proc.pid;
+    Kernel.kernel_exit t.kernel ~core;
+    token
+
+let cross_leave t ~core vcpu token =
+  match token with
+  | Tindex return_index -> Vmfunc.execute vcpu ~func:0 ~index:return_index
+  | Tpkru { pkru; cr3; pcid } ->
+    Wrpkru.execute vcpu ~pkru;
+    vcpu.Vcpu.cr3 <- cr3;
+    vcpu.Vcpu.pcid <- pcid
+  | Tcr3 { cr3; pcid } ->
+    (* Returning is a kernel round trip too: trap, validate the return
+       frame, switch back to the client's translation. *)
+    Kernel.kernel_entry t.kernel ~core;
+    Cpu.charge (Kernel.cpu t.kernel ~core) Costs.entry_filter_check;
+    Vcpu.write_cr3 vcpu ~cr3 ~pcid;
+    Kernel.kernel_exit t.kernel ~core
 
 let guest_copy_out t ~core va data =
   Translate.write_bytes (Kernel.vcpu t.kernel ~core) (Kernel.mem t.kernel) ~va data
@@ -960,7 +1128,13 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
         Kernel.context_switch t.kernel ~core ps.proc;
       t.calls <- t.calls + 1;
       t.calls |> fun n -> b.last_use <- n;
-      let idx = ensure_installed t ~core ps b in
+      (* EPTP-slot residency is a VMFUNC-backend concern; prepared
+         outside the measured crossing, as before the backend split. *)
+      let idx =
+        match b.mech with
+        | Meptp _ -> Some (ensure_installed t ~core ps b)
+        | Mpkey _ | Mentry _ -> None
+      in
       let start = Cpu.cycles cpu in
       let walk0 = Pmu.read (Cpu.pmu cpu) Pmu.Walk_cycles in
       (* Roundtrip span: feeds the "skybridge.<kernel>.call" latency
@@ -991,14 +1165,14 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
             guest_copy_out t ~core b.buffer_vas.(conn) msg);
       let copy_cycles = ref (Cpu.cycles cpu - copy0) in
       let client_key = fresh_key t in
-      (* --- VMFUNC into the server --- *)
+      (* --- cross into the server --- *)
       let outer = t.active_client.(core) in
-      (* The trampoline returns to whatever EPTP slot it was entered
-         from: slot 0 for a plain client, the calling server's slot for a
-         nested call (the FS returning from the disk driver must land
-         back in the FS's address space, not the client's). *)
-      let return_index = Vmcs.current_index (Vcpu.vmcs_exn vcpu) in
-      Vmfunc.execute vcpu ~func:0 ~index:idx;
+      (* The gate returns to whatever state it was entered from: EPTP
+         slot 0 for a plain VMFUNC client, the calling server's slot for
+         a nested call (the FS returning from the disk driver must land
+         back in the FS's address space, not the client's); the MPK and
+         syscall tokens capture the analogous client state. *)
+      let token = cross_enter t ~core vcpu ps b srv ~idx in
       t.active_client.(core) <- Some ps;
       t.call_stack.(core) <- (server_id, start) :: t.call_stack.(core);
       let returned = ref false in
@@ -1008,9 +1182,9 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
         | [] -> ()
       in
       let finish_return reply =
-        (* --- VMFUNC back, restore --- *)
+        (* --- cross back, restore --- *)
         Fault.leave_scope ();
-        Vmfunc.execute vcpu ~func:0 ~index:return_index;
+        cross_leave t ~core vcpu token;
         t.active_client.(core) <- outer;
         pop_frame ();
         Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
@@ -1018,15 +1192,16 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
         reply
       in
       let forced_return () =
-        (* §7: the watchdog VMFUNCs the stranded client back to the EPTP
-           slot it entered from and restores the callee-saved registers
-           from the trampoline save area (the aborted server run never
-           ran the trampoline epilogue). *)
+        (* §7: the watchdog forces the stranded client back through the
+           same mechanism it entered by — the VMFUNC return switch, the
+           WRPKRU restore, or the kernel's CR3 switch back — and
+           restores the callee-saved registers from the trampoline save
+           area (the aborted server run never ran the gate epilogue). *)
         Fault.leave_scope ();
         t.forced_returns <- t.forced_returns + 1;
         Sky_trace.Trace.span ~core ~cat:"recovery" "recovery.forced_return"
         @@ fun () ->
-        Vmfunc.execute vcpu ~func:0 ~index:return_index;
+        cross_leave t ~core vcpu token;
         t.active_client.(core) <- outer;
         pop_frame ();
         Trampoline.charge_crossing cpu ~text_pa:ps.trampoline_text_pa;
@@ -1107,8 +1282,16 @@ let call_internal t ~core ~client ~server_id ?timeout ?attack msg =
             end
             else reply
           in
-          (* Accounting (Figure 7 categories). *)
-          t.stats.Breakdown.vmfunc <- t.stats.Breakdown.vmfunc + (2 * Costs.vmfunc);
+          (* Accounting (Figure 7 categories): the two switch legs land
+             in the domain-switch bucket for the user-level mechanisms
+             and the syscall bucket for the kernel-mediated one. *)
+          (match t.backend with
+          | Backend.Vmfunc | Backend.Mpk ->
+            t.stats.Breakdown.vmfunc <-
+              t.stats.Breakdown.vmfunc + (2 * Backend.switch_cycles t.backend)
+          | Backend.Syscall ->
+            t.stats.Breakdown.syscall <-
+              t.stats.Breakdown.syscall + (2 * Backend.switch_cycles t.backend));
           t.stats.Breakdown.other <-
             t.stats.Breakdown.other + (2 * Trampoline.crossing_cycles);
           t.stats.Breakdown.copy <- t.stats.Breakdown.copy + !copy_cycles;
@@ -1244,7 +1427,15 @@ let binding_ept t proc ~server_id =
   | None -> None
   | Some ps ->
     List.find_opt (fun b -> b.b_server_id = server_id) ps.bindings
-    |> Option.map (fun b -> b.ept)
+    |> fun o ->
+    Option.bind o (fun b ->
+        match b.mech with Meptp e -> Some e | Mpkey _ | Mentry _ -> None)
+
+(* Test accessor: the MPK identity of a registered process. *)
+let mpk_view t proc =
+  match pstate_opt t proc with
+  | Some ps when t.backend = Backend.Mpk -> Some (ps.pkey, ps.pkru_view)
+  | _ -> None
 
 (* Lower the live machine into Isoflow's input: every registered process
    is both a domain (a set of VMFUNC-reachable EPTP slots) and a space
@@ -1274,7 +1465,12 @@ let isoflow_input ?granted t =
           d_slots = List.mapi (fun i root -> (i, root)) (eptp_list_of ps);
           d_allowed =
             Ept.root_pa ps.own_ept
-            :: List.map (fun b -> Ept.root_pa b.ept) ps.bindings;
+            :: List.filter_map
+                 (fun b ->
+                   match b.mech with
+                   | Meptp e -> Some (Ept.root_pa e)
+                   | Mpkey _ | Mentry _ -> None)
+                 ps.bindings;
         })
       pstates
   in
@@ -1336,6 +1532,24 @@ let isoflow_input ?granted t =
     trampoline_va = Layout.trampoline_va;
     trampoline_gpa = t.trampoline_frame;
     trampoline_bytes = live_trampoline t;
+    mpk =
+      (match t.backend with
+      | Backend.Mpk ->
+        Some
+          {
+            Sky_analysis.Isoflow.m_domains =
+              List.map
+                (fun ps ->
+                  {
+                    Sky_analysis.Isoflow.m_pid = ps.proc.Proc.pid;
+                    m_name = ps.proc.Proc.name;
+                    m_key = ps.pkey;
+                    m_view = ps.pkru_view;
+                  })
+                pstates;
+            m_shared_key = 0;
+          }
+      | Backend.Vmfunc | Backend.Syscall -> None);
   }
 
 (* The full pass-registry input for this machine. *)
@@ -1349,15 +1563,40 @@ let audit_input ?granted t =
       ~allowed tramp
     :: List.concat_map (fun ps -> gadget_images t ps.proc) pstates
   in
+  (* The MPK backend's WRPKRU scan: same images, but the allowed ranges
+     are the call gate's two WRPKRUs rather than VMFUNCs. *)
+  let wrpkru_images =
+    match t.backend with
+    | Backend.Mpk ->
+      Sky_analysis.Gadget.image ~name:"trampoline" ~va:Layout.trampoline_va
+        ~allowed:(Trampoline.wrpkru_ranges t.trampoline_bytes)
+        tramp
+      :: List.concat_map (fun ps -> gadget_images t ps.proc) pstates
+    | Backend.Vmfunc | Backend.Syscall -> []
+  in
+  let entry_filter =
+    match t.backend with
+    | Backend.Syscall ->
+      Some
+        {
+          Sky_analysis.Audit.ef_entries = Entry_filter.entries t.entry_filter;
+          ef_blessed = [ (Layout.trampoline_va, 4096) ];
+        }
+    | Backend.Vmfunc | Backend.Mpk -> None
+  in
   let epts =
     List.concat_map
       (fun ps ->
         (Printf.sprintf "ept:%s" ps.proc.Proc.name, Ept.root_pa ps.own_ept)
-        :: List.map
+        :: List.filter_map
              (fun b ->
-               ( Printf.sprintf "ept:%s->server%d" ps.proc.Proc.name
-                   b.b_server_id,
-                 Ept.root_pa b.ept ))
+               match b.mech with
+               | Meptp e ->
+                 Some
+                   ( Printf.sprintf "ept:%s->server%d" ps.proc.Proc.name
+                       b.b_server_id,
+                     Ept.root_pa e )
+               | Mpkey _ | Mentry _ -> None)
              ps.bindings)
       pstates
   in
@@ -1386,9 +1625,9 @@ let audit_input ?granted t =
       trampoline_va = Layout.trampoline_va;
     }
   in
-  Sky_analysis.Audit.input ~images ~machine
-    ~trampolines:[ ("trampoline", tramp) ]
-    ~isoflow:(isoflow_input ?granted t) ()
+  Sky_analysis.Audit.input ~images ~wrpkru_images ~machine
+    ~trampolines:[ ("trampoline", tramp, Backend.tramp_flavor t.backend) ]
+    ?entry_filter ~isoflow:(isoflow_input ?granted t) ()
 
 (* Whole-machine audit through the unified pass registry; the dynamic
    callee-saved check (live register state, not lowerable to plain data)

@@ -38,6 +38,7 @@ exception Audit_failed of Sky_analysis.Report.violation list
     rewriting — the process is refused. *)
 
 val init :
+  ?backend:Backend.kind ->
   ?vpid:bool ->
   ?huge_ept:bool ->
   ?max_eptp:int ->
@@ -57,6 +58,13 @@ val init :
 
 val rootkernel : t -> Rootkernel.t
 val kernel : t -> Sky_ukernel.Kernel.t
+
+val backend : t -> Backend.kind
+(** The isolation mechanism this machine was booted with. *)
+
+val entry_filter : t -> Sky_ukernel.Entry_filter.t
+(** The filtered-syscall backend's grant table (empty under the other
+    backends) — exposed for the auditor's mutation tests. *)
 
 val stats : t -> Sky_kernels.Breakdown.t
 (** Accumulated direct-call cycle breakdown (for Figure 7). *)
@@ -258,7 +266,11 @@ val server_ids : t -> (int * int) list
 val binding_ept :
   t -> Sky_ukernel.Proc.t -> server_id:int -> Sky_mmu.Ept.t option
 (** The live binding EPT for [(client, server_id)], if bound — exposed
-    for the auditor's mutation tests. *)
+    for the auditor's mutation tests. [None] under non-VMFUNC backends. *)
+
+val mpk_view : t -> Sky_ukernel.Proc.t -> (int * int) option
+(** Under the MPK backend, the process's [(protection key, resting PKRU
+    view)]; [None] otherwise or if unregistered. *)
 
 val make_code_writable : t -> Sky_ukernel.Proc.t -> unit
 (** W^X (§9): flip the process's code pages to writable+non-executable so

@@ -44,10 +44,85 @@ let insns =
 
 let code () = Encode.encode_all insns
 
+(* The MPK call gate (ERIM §3): same frame discipline, but the switch is
+   a WRPKRU pair. The hardware faults unless ECX = EDX = 0, hence the
+   XOR-zeroing immediately before each gate — the exact entry/exit
+   sequence ERIM's binary inspection insists on. Arguments move over:
+   RDI = server PKRU view, RSI = server stack, R8 = function list,
+   R9 = the client's resting PKRU to restore on the way out (stashed in
+   callee-saved RBX across the handler call). *)
+let mpk_insns =
+  [
+    Insn.Push Reg.Rbx;
+    Insn.Push Reg.Rbp;
+    Insn.Push Reg.R12;
+    Insn.Push Reg.R13;
+    Insn.Push Reg.R14;
+    Insn.Push Reg.R15;
+    Insn.Mov_rr (Reg.Rbp, Reg.Rsp) (* remember the client stack *);
+    Insn.Mov_rr (Reg.Rbx, Reg.R9) (* client resting PKRU, survives the call *);
+    Insn.Xor_rr (Reg.Rcx, Reg.Rcx);
+    Insn.Xor_rr (Reg.Rdx, Reg.Rdx);
+    Insn.Mov_rr (Reg.Rax, Reg.Rdi) (* server view *);
+    Insn.Wrpkru;
+    Insn.Mov_rr (Reg.Rsp, Reg.Rsi) (* install the server stack *);
+    Insn.Mov_load (Reg.R11, Insn.mem ~base:Reg.R8 ()) (* function list *);
+    Insn.Call_rel 0 (* call the registered handler (linked at runtime) *);
+    Insn.Xor_rr (Reg.Rcx, Reg.Rcx);
+    Insn.Xor_rr (Reg.Rdx, Reg.Rdx);
+    Insn.Mov_rr (Reg.Rax, Reg.Rbx) (* restore the client view *);
+    Insn.Wrpkru;
+    Insn.Mov_rr (Reg.Rsp, Reg.Rbp) (* restore the client stack *);
+    Insn.Pop Reg.R15;
+    Insn.Pop Reg.R14;
+    Insn.Pop Reg.R13;
+    Insn.Pop Reg.R12;
+    Insn.Pop Reg.Rbp;
+    Insn.Pop Reg.Rbx;
+    Insn.Ret;
+  ]
+
+(* The filtered-syscall gate: the crossing is one SYSCALL; the kernel's
+   trap path checks the entry filter, context-switches, runs the
+   handler, and SYSRETs back. RDI carries the server id the kernel
+   filters on. *)
+let syscall_insns =
+  [
+    Insn.Push Reg.Rbx;
+    Insn.Push Reg.Rbp;
+    Insn.Push Reg.R12;
+    Insn.Push Reg.R13;
+    Insn.Push Reg.R14;
+    Insn.Push Reg.R15;
+    Insn.Mov_rr (Reg.Rbp, Reg.Rsp);
+    Insn.Mov_rr (Reg.Rax, Reg.Rdi) (* server id for the entry filter *);
+    Insn.Syscall;
+    Insn.Mov_rr (Reg.Rsp, Reg.Rbp);
+    Insn.Pop Reg.R15;
+    Insn.Pop Reg.R14;
+    Insn.Pop Reg.R13;
+    Insn.Pop Reg.R12;
+    Insn.Pop Reg.Rbp;
+    Insn.Pop Reg.Rbx;
+    Insn.Ret;
+  ]
+
+let mpk_code () = Encode.encode_all mpk_insns
+let syscall_code () = Encode.encode_all syscall_insns
+
+let code_for = function
+  | Backend.Vmfunc -> code ()
+  | Backend.Mpk -> mpk_code ()
+  | Backend.Syscall -> syscall_code ()
+
 (* Offsets of the two legal VMFUNCs — the allowed ranges for the
    rewriter. *)
 let vmfunc_ranges code =
   List.map (fun off -> (off, 3)) (Sky_rewriter.Scan.find_pattern code)
+
+(* Offsets of the two legal WRPKRUs — the MPK scan's allowed ranges. *)
+let wrpkru_ranges code =
+  List.map (fun off -> (off, 3)) (Sky_rewriter.Scan.find_wrpkru code)
 
 let crossing_cycles = Sky_sim.Costs.skybridge_crossing_other
 

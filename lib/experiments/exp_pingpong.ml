@@ -31,9 +31,10 @@ let iters = 1000
 let ws_pages = 96
 
 (* One measured configuration: build a fresh machine, warm up, run
-   [iters] calls, return per-call cycles plus the PMU's view of the
-   acceleration structures over the measured window. *)
-let measure () =
+   [iters] calls, hand the measured window to [k]. Shared between the
+   accel-on/off measurement below and the cross-backend matrix, which
+   wants the Subkernel's cycle breakdown instead of the PMU counters. *)
+let with_rig k =
   let machine = Sky_sim.Machine.create ~cores:2 ~mem_mib:128 () in
   let kernel = Kernel.create machine in
   let sb = Sky_core.Subkernel.init kernel in
@@ -64,6 +65,10 @@ let measure () =
   for _ = 1 to iters_warm do
     one ()
   done;
+  k ~cpu ~sb ~one
+
+let measure () =
+  with_rig @@ fun ~cpu ~sb:_ ~one ->
   let pmu = Sky_sim.Cpu.pmu cpu in
   let read ev = Sky_sim.Pmu.read pmu ev in
   let t0 = Sky_sim.Cpu.cycles cpu in
@@ -84,6 +89,39 @@ let measure () =
     ept_wc_hits = read Sky_sim.Pmu.Ept_walk_cache_hit - wc_h0;
     ept_wc_misses = read Sky_sim.Pmu.Ept_walk_cache_miss - wc_m0;
     hot_line_hits = read Sky_sim.Pmu.Hot_line_hit - hl0;
+  }
+
+(* The cross-backend view of the same measured window: total per-call
+   cycles plus the Subkernel's Figure-7 cycle attribution, so the matrix
+   can show where each mechanism spends its crossing (vmfunc-category =
+   the architectural switch legs, VMFUNC or WRPKRU; syscall-category =
+   kernel round trips, the filtered-syscall backend's whole path). *)
+type full = {
+  f_backend : Sky_core.Backend.kind;
+  f_cycles_per_call : int;
+  f_switch_per_call : int;  (** vmfunc-category breakdown cycles / call *)
+  f_kernel_per_call : int;  (** syscall-category breakdown cycles / call *)
+  f_other_per_call : int;
+  f_copy_per_call : int;
+}
+
+let measure_full () =
+  with_rig @@ fun ~cpu ~sb ~one ->
+  let module B = Sky_kernels.Breakdown in
+  let snap () = B.scale (Sky_core.Subkernel.stats sb) 1 in
+  let s0 = snap () in
+  let t0 = Sky_sim.Cpu.cycles cpu in
+  for _ = 1 to iters do
+    one ()
+  done;
+  let s1 = snap () in
+  {
+    f_backend = Sky_core.Subkernel.backend sb;
+    f_cycles_per_call = (Sky_sim.Cpu.cycles cpu - t0) / iters;
+    f_switch_per_call = (s1.B.vmfunc - s0.B.vmfunc) / iters;
+    f_kernel_per_call = (s1.B.syscall - s0.B.syscall) / iters;
+    f_other_per_call = (s1.B.other - s0.B.other) / iters;
+    f_copy_per_call = (s1.B.copy - s0.B.copy) / iters;
   }
 
 let with_accel enabled f =

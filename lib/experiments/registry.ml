@@ -49,6 +49,9 @@ let all =
     { id = "overload";
       title = "Overload: open-loop load, admission control, chaos at saturation";
       run = Exp_overload.run };
+    { id = "matrix";
+      title = "Showdown: VMFUNC vs MPK vs filtered syscall, cost + recovery + audit";
+      run = Exp_matrix.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

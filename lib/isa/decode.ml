@@ -410,6 +410,10 @@ let decode_one code off =
               let d = fin ~insn:(Some Insn.Vmfunc) (o + 3) in
               { d with layout = { d.layout with Encode.opcode_len = 3 } }
             end
+            else if u8 code (o + 2) = 0xEF then begin
+              let d = fin ~insn:(Some Insn.Wrpkru) (o + 3) in
+              { d with layout = { d.layout with Encode.opcode_len = 3 } }
+            end
             else begin
               (* Other 0F 01 group members (SGDT etc.): length via ModRM. *)
               match parse_modrm code ~limit ~rex (o + 2) with

@@ -228,6 +228,7 @@ let encode insn =
   | Insn.Ret -> build ~rex_w:false [ 0xC3 ]
   | Insn.Syscall -> build ~rex_w:false [ 0x0F; 0x05 ]
   | Insn.Vmfunc -> build ~rex_w:false [ 0x0F; 0x01; 0xD4 ]
+  | Insn.Wrpkru -> build ~rex_w:false [ 0x0F; 0x01; 0xEF ]
   | Insn.Cpuid -> build ~rex_w:false [ 0x0F; 0xA2 ]
   | Insn.Push r -> encode_push_pop 0x50 r
   | Insn.Pop r -> encode_push_pop 0x58 r

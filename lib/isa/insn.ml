@@ -82,6 +82,9 @@ type t =
   | Ret
   | Syscall
   | Vmfunc
+  | Wrpkru
+      (** write EAX into PKRU (requires ECX = EDX = 0) — the ERIM-style
+          MPK domain-switch instruction, encoded [0F 01 EF] *)
   | Cpuid
 
 and mem_or_reg = R of Reg.t | M of mem
@@ -133,6 +136,7 @@ let pp fmt = function
   | Ret -> Format.pp_print_string fmt "ret"
   | Syscall -> Format.pp_print_string fmt "syscall"
   | Vmfunc -> Format.pp_print_string fmt "vmfunc"
+  | Wrpkru -> Format.pp_print_string fmt "wrpkru"
   | Cpuid -> Format.pp_print_string fmt "cpuid"
 
 let to_string i = Format.asprintf "%a" pp i
@@ -145,8 +149,8 @@ let regs_of_mem m =
 (* Registers an instruction may write (used by the rewriter to decide
    whether a base register survives the instruction). *)
 let regs_written = function
-  | Nop | Ret | Syscall | Vmfunc | Jmp_rel _ | Mov_store _ | Cmp_rr _ | Cmp_ri _
-  | Test_rr _ | Jcc _ ->
+  | Nop | Ret | Syscall | Vmfunc | Wrpkru | Jmp_rel _ | Mov_store _ | Cmp_rr _
+  | Cmp_ri _ | Test_rr _ | Jcc _ ->
     []
   | Cpuid -> [ Reg.Rax; Reg.Rbx; Reg.Rcx; Reg.Rdx ]
   | Push _ | Call_rel _ -> [ Reg.Rsp ]
@@ -175,6 +179,7 @@ let regs_written = function
 
 let regs_used = function
   | Nop | Ret | Syscall | Vmfunc | Jmp_rel _ | Call_rel _ | Jcc _ -> []
+  | Wrpkru -> [ Reg.Rax; Reg.Rcx; Reg.Rdx ]
   | Cpuid -> [ Reg.Rax; Reg.Rbx; Reg.Rcx; Reg.Rdx ]
   | Push r | Pop r -> [ r; Reg.Rsp ]
   | Mov_rr (d, s) | Add_rr (d, s) | Xor_rr (d, s) | And_rr (d, s) | Or_rr (d, s)

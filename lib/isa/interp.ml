@@ -6,7 +6,7 @@
     event history. The machine model is flat: 16 64-bit registers and a
     sparse byte-addressable memory. *)
 
-type event = Ev_vmfunc | Ev_syscall | Ev_cpuid
+type event = Ev_vmfunc | Ev_syscall | Ev_cpuid | Ev_wrpkru of int64
 
 (* Condition flags, reduced to the predicates the supported Jcc
    conditions need: zero, signed-less, unsigned-less. *)
@@ -181,6 +181,12 @@ let exec_insn t insn ~next_ip =
     None
   | Insn.Vmfunc ->
     t.events <- Ev_vmfunc :: t.events;
+    None
+  | Insn.Wrpkru ->
+    (* The PKRU write is an event (the value written matters for
+       equivalence); the architectural requirement ECX = EDX = 0 is
+       checked by the trampoline auditor, not here. *)
+    t.events <- Ev_wrpkru (get t Reg.Rax) :: t.events;
     None
   | Insn.Cpuid ->
     (* Deterministic leaf values. *)

@@ -17,10 +17,16 @@ type t = {
       (** When false (the default for the baseline microkernels, matching
           the TLB pollution measured in Table 1), a CR3 write flushes the
           TLBs. When true, entries are tagged and survive. *)
+  mutable pkru : int;
+      (** Protection-key rights register (32 bits: AD/WD pair per key).
+          0 = every key accessible; only the MPK isolation backend writes
+          it (via {!Wrpkru.execute}), and it never interacts with the
+          TLBs. *)
 }
 
 let create ?(pcid_enabled = false) cpu =
-  { cpu; cr3 = 0; pcid = 0; mode = Kernel; vmcs = None; pcid_enabled }
+  { cpu; cr3 = 0; pcid = 0; mode = Kernel; vmcs = None; pcid_enabled;
+    pkru = 0 }
 
 let cpu t = t.cpu
 let virtualized t = t.vmcs <> None

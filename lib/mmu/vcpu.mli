@@ -18,6 +18,10 @@ type t = {
       (** When false (the default for the baseline microkernels, matching
           the TLB pollution of Table 1), a CR3 write flushes the TLBs;
           when true entries are tagged and survive. *)
+  mutable pkru : int;
+      (** Protection-key rights register ({!Pkru}); written only by
+          {!Wrpkru.execute} (the MPK isolation backend), no TLB
+          interaction. *)
 }
 
 val create : ?pcid_enabled:bool -> Sky_sim.Cpu.t -> t

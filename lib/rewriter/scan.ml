@@ -6,28 +6,37 @@ type case = C1_vmfunc | C2_spanning | C3_embedded of field
 
 type occurrence = { at : int; case : case; span : Decode.decoded list }
 
-let find_pattern code =
+(* The two privileged-mechanism encodings the audits care about: VMFUNC
+   [0F 01 D4] and WRPKRU [0F 01 EF]. Same length, same scan machinery. *)
+let vmfunc_bytes = Bytes.of_string "\x0f\x01\xd4"
+let wrpkru_bytes = Bytes.of_string "\x0f\x01\xef"
+
+let find_bytes ~pattern code =
+  let p = Bytes.length pattern in
   let n = Bytes.length code in
+  let matches i =
+    let rec eq j = j >= p || (Bytes.get code (i + j) = Bytes.get pattern j && eq (j + 1)) in
+    eq 0
+  in
   let rec go i acc =
-    if i + 2 >= n then List.rev acc
-    else if
-      Char.code (Bytes.get code i) = 0x0F
-      && Char.code (Bytes.get code (i + 1)) = 0x01
-      && Char.code (Bytes.get code (i + 2)) = 0xD4
-    then go (i + 1) (i :: acc)
+    if i + p > n then List.rev acc
+    else if matches i then go (i + 1) (i :: acc)
     else go (i + 1) acc
   in
-  go 0 []
+  if p = 0 then [] else go 0 []
 
+let find_pattern ?(pattern = vmfunc_bytes) code = find_bytes ~pattern code
+let find_wrpkru code = find_bytes ~pattern:wrpkru_bytes code
 let count_pattern code = List.length (find_pattern code)
 
-(* Chunked scanning for per-page audits. A [0F 01 D4] split across two
-   chunks is invisible to [find_pattern] run on each chunk alone, so we
-   carry the last two bytes of each chunk into the scan of the next one.
-   [chunks] are [(global_offset, bytes)] pieces in increasing offset
+(* Chunked scanning for per-page audits. A pattern split across two
+   chunks is invisible to [find_bytes] run on each chunk alone, so we
+   carry the last [len-1] bytes of each chunk into the scan of the next
+   one. [chunks] are [(global_offset, bytes)] pieces in increasing offset
    order; a gap between chunks resets the carry (the pattern cannot span
    unscanned bytes). Returns global offsets of every occurrence. *)
-let find_pattern_chunked chunks =
+let find_pattern_chunked ?(pattern = vmfunc_bytes) chunks =
+  let overlap = max 0 (Bytes.length pattern - 1) in
   let hits = ref [] in
   let carry = ref Bytes.empty in
   let carry_off = ref 0 in
@@ -41,20 +50,20 @@ let find_pattern_chunked chunks =
         else (chunk, off)
       in
       (* Hits entirely inside the carry were already reported by the
-         previous iteration (the carry is < 3 bytes, so any hit here uses
-         at least one byte of the new chunk). *)
+         previous iteration (the carry is shorter than the pattern, so
+         any hit here uses at least one byte of the new chunk). *)
       List.iter (fun at -> hits := (joined_off + at) :: !hits)
-        (find_pattern joined);
-      let keep = min 2 (Bytes.length joined) in
+        (find_bytes ~pattern joined);
+      let keep = min overlap (Bytes.length joined) in
       carry := Bytes.sub joined (Bytes.length joined - keep) keep;
       carry_off := joined_off + Bytes.length joined - keep)
     chunks;
   List.sort_uniq compare !hits
 
-(* [find_pattern] over [code] presented as [page_size]-sized pages — the
+(* [find_bytes] over [code] presented as [page_size]-sized pages — the
    shape a per-page audit sees. Equivalent to scanning the whole buffer
    contiguously thanks to the carried overlap. *)
-let find_pattern_paged ?(page_size = 4096) code =
+let find_pattern_paged ?(page_size = 4096) ?(pattern = vmfunc_bytes) code =
   let n = Bytes.length code in
   let rec pages off acc =
     if off >= n then List.rev acc
@@ -62,7 +71,7 @@ let find_pattern_paged ?(page_size = 4096) code =
       let len = min page_size (n - off) in
       pages (off + page_size) ((off, Bytes.sub code off len) :: acc)
   in
-  find_pattern_chunked (pages 0 [])
+  find_pattern_chunked ~pattern (pages 0 [])
 
 (* Which encoding field does byte [rel] (relative to the instruction
    start) belong to? *)
@@ -74,8 +83,12 @@ let field_of (l : Encode.layout) rel =
   else if in_span l.Encode.imm_off l.Encode.imm_len then In_imm
   else In_opcode
 
-let scan code =
-  let hits = find_pattern code in
+let scan ?(pattern = vmfunc_bytes) code =
+  let expected_insn =
+    if Bytes.equal pattern wrpkru_bytes then Insn.Wrpkru else Insn.Vmfunc
+  in
+  let plen = Bytes.length pattern in
+  let hits = find_bytes ~pattern code in
   if hits = [] then []
   else begin
     let insns = Array.of_list (Decode.decode_all code) in
@@ -95,18 +108,18 @@ let scan code =
         let i = covering at in
         let d = insns.(i) in
         let ends = d.Decode.off + d.Decode.len in
-        if at + 3 > ends then begin
+        if at + plen > ends then begin
           (* Spans into following instruction(s). *)
           let rec collect j acc =
             if j >= Array.length insns then List.rev acc
             else
               let dj = insns.(j) in
-              if dj.Decode.off < at + 3 then collect (j + 1) (dj :: acc)
+              if dj.Decode.off < at + plen then collect (j + 1) (dj :: acc)
               else List.rev acc
           in
           { at; case = C2_spanning; span = collect i [] }
         end
-        else if d.Decode.insn = Some Insn.Vmfunc then
+        else if d.Decode.insn = Some expected_insn then
           { at; case = C1_vmfunc; span = [ d ] }
         else
           {

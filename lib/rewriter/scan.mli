@@ -21,24 +21,39 @@ type occurrence = {
       (** the instruction(s) whose bytes contain the pattern, in order *)
 }
 
-val find_pattern : bytes -> int list
-(** All byte offsets where [0F 01 D4] occurs, boundary-oblivious. *)
+val vmfunc_bytes : bytes
+(** [0F 01 D4]. *)
+
+val wrpkru_bytes : bytes
+(** [0F 01 EF] — the WRPKRU encoding the MPK backend's binary audit
+    hunts for, exactly as ERIM's inspection pass does. *)
+
+val find_bytes : pattern:bytes -> bytes -> int list
+(** All byte offsets where [pattern] occurs, boundary-oblivious. *)
+
+val find_pattern : ?pattern:bytes -> bytes -> int list
+(** [find_bytes] defaulting to {!vmfunc_bytes}. *)
+
+val find_wrpkru : bytes -> int list
+(** [find_bytes ~pattern:wrpkru_bytes]. *)
 
 val count_pattern : bytes -> int
 
-val find_pattern_chunked : (int * bytes) list -> int list
+val find_pattern_chunked : ?pattern:bytes -> (int * bytes) list -> int list
 (** [find_pattern_chunked chunks] scans [(global_offset, bytes)] pieces of
-    a region in increasing-offset order, carrying a 2-byte overlap across
-    contiguous chunk boundaries so a pattern split across two chunks is
-    still found. A gap between chunks resets the carry. Returns sorted
-    global offsets. *)
+    a region in increasing-offset order, carrying a [len-1]-byte overlap
+    across contiguous chunk boundaries so a pattern split across two
+    chunks is still found. A gap between chunks resets the carry. Returns
+    sorted global offsets. *)
 
-val find_pattern_paged : ?page_size:int -> bytes -> int list
-(** [find_pattern] with the buffer scanned page by page (default 4096) —
+val find_pattern_paged : ?page_size:int -> ?pattern:bytes -> bytes -> int list
+(** [find_bytes] with the buffer scanned page by page (default 4096) —
     the shape a per-page audit sees; equivalent to the contiguous scan. *)
 
-val scan : bytes -> occurrence list
-(** Classified occurrences, in increasing [at] order. *)
+val scan : ?pattern:bytes -> bytes -> occurrence list
+(** Classified occurrences, in increasing [at] order. [C1_vmfunc] means
+    "the covering instruction {e is} the mechanism instruction" for
+    whichever pattern is being scanned. *)
 
 val field_name : field -> string
 val case_name : case -> string

@@ -18,6 +18,19 @@ let cr3_write = 186
 (* Table 2: VMFUNC EPTP switch with VPID enabled (no TLB flush). *)
 let vmfunc = 134
 
+(* WRPKRU protection-key switch (the ERIM-style MPK backend). ERIM
+   measures 11–260 cycles for a full call gate; the WRPKRU instruction
+   itself is in the tens of cycles on Skylake and never touches the TLB.
+   The gate's register zeroing/moves ride in the generic per-crossing
+   trampoline cost, so this constant is the bare instruction. *)
+let wrpkru = 26
+
+(* Allowed-entry-point table lookup in the "syscall as a privilege"
+   filtered slowpath: a hashed (domain, server) probe plus an entry
+   compare, performed at trap time in the kernel. Software-check cost of
+   the same order as the seL4 fastpath capability logic. *)
+let entry_filter_check = 48
+
 (* §2.1.3: one inter-processor interrupt. *)
 let ipi = 1913
 

@@ -28,8 +28,9 @@ type event =
   | Ept_walk_cache_miss
   | Hot_line_hit
   | Walk_cycles
+  | Wrpkru_exec
 
-let n_events = 13
+let n_events = 14
 
 let index = function
   | Ipi_sent -> 0
@@ -45,6 +46,7 @@ let index = function
   | Ept_walk_cache_miss -> 10
   | Hot_line_hit -> 11
   | Walk_cycles -> 12
+  | Wrpkru_exec -> 13
 
 let name = function
   | Ipi_sent -> "ipi_sent"
@@ -60,6 +62,7 @@ let name = function
   | Ept_walk_cache_miss -> "ept_walk_cache_miss"
   | Hot_line_hit -> "hot_line_hit"
   | Walk_cycles -> "walk_cycles"
+  | Wrpkru_exec -> "wrpkru"
 
 type t = { counts : int array }
 

@@ -19,6 +19,7 @@ type event =
   | Ept_walk_cache_miss
   | Hot_line_hit  (** host-side hot line served the translation *)
   | Walk_cycles  (** accumulator: simulated cycles spent in TLB refills *)
+  | Wrpkru_exec  (** WRPKRU protection-key switches (MPK backend) *)
 
 type t
 
