@@ -34,6 +34,23 @@ let backend_arg =
 
 let set_backend k = Sky_core.Backend.set_default k
 
+(* --jobs N: run N identical replicas of the experiment concurrently on
+   separate OCaml domains, each inside its own scoped simulator world,
+   and fail unless every replica renders byte-identically. The printed
+   result (and any artifact) is replica 0's, so output is unchanged
+   from --jobs 1. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) identical replicas of the experiment on separate \
+           OCaml domains, each in its own scoped simulator world, failing \
+           unless all replicas produce byte-identical results — the \
+           parallel-determinism smoke test. Output is replica 0's.")
+
+let replicate ~jobs ~render f = Sky_experiments.Par_harness.replicate ~jobs ~render f
+
 let list_cmd =
   let doc = "List available experiments." in
   let run () =
@@ -67,7 +84,7 @@ let emit ?artifact ~json run =
   end
   else Sky_harness.Tbl.print tbl
 
-let run_one ~records ~ops ~json id =
+let run_one ~records ~ops ~json ~wrap id =
   match id with
   | "fig9" | "fig10" | "fig11" when records <> None || ops <> None ->
     let variant =
@@ -76,12 +93,13 @@ let run_one ~records ~ops ~json id =
       | "fig10" -> Sky_ukernel.Config.Fiasco
       | _ -> Sky_ukernel.Config.Zircon
     in
-    emit ~artifact:id ~json (fun () ->
-        Sky_experiments.Exp_ycsb.run_variant ?records ?ops_per_thread:ops
-          variant)
+    emit ~artifact:id ~json
+      (wrap (fun () ->
+           Sky_experiments.Exp_ycsb.run_variant ?records ?ops_per_thread:ops
+             variant))
   | _ -> (
     match Sky_experiments.Registry.find id with
-    | Some e -> emit ~artifact:id ~json e.Sky_experiments.Registry.run
+    | Some e -> emit ~artifact:id ~json (wrap e.Sky_experiments.Registry.run)
     | None ->
       Printf.eprintf "unknown experiment %S; try `skybench list`\n" id;
       exit 1)
@@ -98,19 +116,20 @@ let run_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result table as JSON.")
   in
-  let run id records ops json backend =
+  let run id records ops json jobs backend =
     set_backend backend;
+    let wrap r () = replicate ~jobs ~render:Sky_harness.Tbl.to_json r in
     if id = "all" then
       List.iter
         (fun e ->
           emit ~artifact:e.Sky_experiments.Registry.id ~json
-            e.Sky_experiments.Registry.run;
+            (wrap e.Sky_experiments.Registry.run);
           if not json then print_newline ())
         Sky_experiments.Registry.all
-    else run_one ~records ~ops ~json id
+    else run_one ~records ~ops ~json ~wrap id
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id $ records $ ops $ json $ backend_arg)
+    Term.(const run $ id $ records $ ops $ json $ jobs_arg $ backend_arg)
 
 let write_file path contents =
   let oc = open_out path in
@@ -187,10 +206,21 @@ let audit_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit violations as JSON.")
   in
-  let run json backend =
+  let run json jobs backend =
     set_backend backend;
-    let scenarios = Sky_experiments.Exp_audit.scenarios () in
     let viols prs = Sky_analysis.Audit.violations prs in
+    (* Replica comparison renders names + violations only: per-pass
+       timings are host wall-clock and legitimately differ. *)
+    let render scenarios =
+      String.concat ";"
+        (List.map
+           (fun (name, prs) ->
+             name ^ "=" ^ Sky_analysis.Report.list_to_json (viols prs))
+           scenarios)
+    in
+    let scenarios =
+      replicate ~jobs ~render Sky_experiments.Exp_audit.scenarios
+    in
     let total =
       List.fold_left
         (fun acc (_, prs) -> acc + List.length (viols prs))
@@ -240,7 +270,7 @@ let audit_cmd =
         scenarios;
     if total > 0 then exit 1
   in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json $ backend_arg)
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json $ jobs_arg $ backend_arg)
 
 let chaos_cmd =
   let doc =
@@ -259,14 +289,19 @@ let chaos_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the census as JSON.")
   in
-  let run seed json backend =
+  let run seed json jobs backend =
     set_backend backend;
-    let c = Sky_experiments.Exp_chaos.run_chaos ~seed in
+    let c =
+      replicate ~jobs ~render:Sky_experiments.Exp_chaos.census_to_json
+        (fun () -> Sky_experiments.Exp_chaos.run_chaos ~seed)
+    in
     if json then print_endline (Sky_experiments.Exp_chaos.census_to_json c)
     else Sky_harness.Tbl.print (Sky_experiments.Exp_chaos.census_table c);
     if not (Sky_experiments.Exp_chaos.clean c) then exit 1
   in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ json $ backend_arg)
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(const run $ seed $ json $ jobs_arg $ backend_arg)
 
 let web_cmd =
   let doc =
@@ -309,13 +344,14 @@ let web_cmd =
              walk cache, hot lines) for this run — the cache-free \
              reference walker, for host wall-clock comparisons.")
   in
-  let run seed cores conns requests json no_accel backend =
+  let run seed cores conns requests json no_accel jobs backend =
     set_backend backend;
     if no_accel then Sky_sim.Accel.set_enabled false;
     let r, host_seconds =
       timed (fun () ->
-          Sky_experiments.Exp_web.run_curve ~seed ~cores ~conns
-            ~requests_per_conn:requests ())
+          replicate ~jobs ~render:Sky_experiments.Exp_web.to_json (fun () ->
+              Sky_experiments.Exp_web.run_curve ~seed ~cores ~conns
+                ~requests_per_conn:requests ()))
     in
     if json then begin
       let j = Sky_experiments.Exp_web.to_json r in
@@ -336,7 +372,7 @@ let web_cmd =
   Cmd.v (Cmd.info "web" ~doc)
     Term.(
       const run $ seed $ cores $ conns $ requests $ json $ no_accel
-      $ backend_arg)
+      $ jobs_arg $ backend_arg)
 
 let mesh_cmd =
   let doc =
@@ -444,9 +480,13 @@ let perf_cmd =
       & opt string "bench/budgets.json"
       & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
   in
-  let run json budgets backend =
+  let run json budgets jobs backend =
     set_backend backend;
-    let r, host_seconds = timed Sky_experiments.Exp_pingpong.run_result in
+    let r, host_seconds =
+      timed (fun () ->
+          replicate ~jobs ~render:Sky_experiments.Exp_pingpong.to_json
+            Sky_experiments.Exp_pingpong.run_result)
+    in
     if json then begin
       let j = Sky_experiments.Exp_pingpong.to_json r in
       print_endline j;
@@ -480,7 +520,8 @@ let perf_cmd =
             cpc budget limit
     else Printf.eprintf "perf: %s not found; skipping budget gate\n" budgets
   in
-  Cmd.v (Cmd.info "perf" ~doc) Term.(const run $ json $ budgets $ backend_arg)
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(const run $ json $ budgets $ jobs_arg $ backend_arg)
 
 let overload_cmd =
   let doc =
@@ -531,12 +572,14 @@ let overload_cmd =
       & opt string "bench/budgets.json"
       & info [ "budgets" ] ~docv:"FILE" ~doc:"Budget file to gate against.")
   in
-  let run seed workers arrivals scale_tenants json budgets backend =
+  let run seed workers arrivals scale_tenants json budgets jobs backend =
     set_backend backend;
     let r, host_seconds =
       timed (fun () ->
-          Sky_experiments.Exp_overload.run_overload ~seed ~workers
-            ~total:arrivals ~scale_tenants ())
+          replicate ~jobs ~render:Sky_experiments.Exp_overload.to_json
+            (fun () ->
+              Sky_experiments.Exp_overload.run_overload ~seed ~workers
+                ~total:arrivals ~scale_tenants ()))
     in
     if json then begin
       let j = Sky_experiments.Exp_overload.to_json r in
@@ -607,7 +650,7 @@ let overload_cmd =
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(
       const run $ seed $ workers $ arrivals $ scale_tenants $ json $ budgets
-      $ backend_arg)
+      $ jobs_arg $ backend_arg)
 
 let matrix_cmd =
   let doc =
@@ -694,6 +737,69 @@ let matrix_cmd =
   in
   Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ seed $ json $ budgets)
 
+let parallel_cmd =
+  let doc =
+    "Run the quantum-scheduler gate: build clusters of independent \
+     web-serving shards (each a full machine + skyhttpd + load generator \
+     in its own scoped simulator world, with per-shard fault storms \
+     armed) and prove the parallel engine is bit-identical to the \
+     sequential one — Seq vs Par at the same quantum on every isolation \
+     backend, chunked vs unchunked scheduling, and two different quantum \
+     sizes — then wall-clock a 4x4-shard cluster sequentially and on \
+     OCaml domains for the host-speedup gate. The speedup bar scales \
+     with Domain.recommended_domain_count: >=2x with 4+ host domains, \
+     reduced for 2-3, and explicitly waived (not faked) on a \
+     single-domain host. Writes BENCH_parallel.json with --json; the \
+     file is byte-deterministic on a given host, so CI diffs two runs \
+     (raw wall seconds go to stderr only). Exit code 0 iff every \
+     equivalence digest matches and the speedup gate does not fail."
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the result as JSON and write BENCH_parallel.json.")
+  in
+  let run seed json backend =
+    set_backend backend;
+    let r =
+      Sky_experiments.Exp_parallel.run_full ~seed ~now:Unix.gettimeofday ()
+    in
+    if json then begin
+      let j = Sky_experiments.Exp_parallel.to_json r in
+      print_endline j;
+      (* No host_seconds wrapper: the artifact must be byte-deterministic
+         across two runs on the same host. Host context (domain count,
+         jobs, gate verdict) is stable and rides along. *)
+      let path =
+        Sky_harness.Artifact.write ~name:"parallel"
+          ~host_json:(Sky_experiments.Exp_parallel.host_json r)
+          j
+      in
+      Printf.eprintf "wrote %s\n" path
+    end
+    else Sky_harness.Tbl.print (Sky_experiments.Exp_parallel.table r);
+    Printf.eprintf
+      "parallel: %d host domain(s), par jobs=%d, seq %.2fs vs par %.2fs = \
+       %.2fx -> gate %s\n"
+      r.Sky_experiments.Exp_parallel.r_host_domains
+      r.Sky_experiments.Exp_parallel.r_jobs
+      r.Sky_experiments.Exp_parallel.r_seq_seconds
+      r.Sky_experiments.Exp_parallel.r_par_seconds
+      r.Sky_experiments.Exp_parallel.r_speedup
+      r.Sky_experiments.Exp_parallel.r_gate;
+    if not (Sky_experiments.Exp_parallel.ok r) then begin
+      Printf.eprintf
+        "parallel: acceptance failed (all_identical=%b gate=%s)\n"
+        (Sky_experiments.Exp_parallel.all_identical r)
+        r.Sky_experiments.Exp_parallel.r_gate;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "parallel" ~doc)
+    Term.(const run $ seed $ json $ backend_arg)
+
 let md_cmd =
   let doc = "Render every experiment as a markdown report (for EXPERIMENTS.md)." in
   let run () =
@@ -714,4 +820,5 @@ let () =
           [
             list_cmd; run_cmd; md_cmd; trace_cmd; audit_cmd; chaos_cmd;
             web_cmd; mesh_cmd; perf_cmd; overload_cmd; matrix_cmd;
+            parallel_cmd;
           ]))

@@ -120,6 +120,17 @@ let memo : (int64, image * string * Report.violation list) Hashtbl.t =
 let memo_hits_ = ref 0
 let memo_misses_ = ref 0
 
+(* The memo is host-wide shared state (deliberately: replicated audit
+   runs scan identical images, sharing the verdicts is the point), so
+   serialize access for parallel `--jobs` runs. Scan results are pure
+   functions of the image bytes, so sharing across replicas cannot leak
+   one replica's state into another — only identical verdicts. *)
+let memo_lock = Mutex.create ()
+
+let with_memo_lock f =
+  Mutex.lock memo_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) f
+
 let fnv1a64 ~rule img =
   let h = ref 0xcbf29ce484222325L in
   let mix byte =
@@ -136,12 +147,13 @@ let same_image a b =
   && a.entries = b.entries
   && Bytes.equal a.bytes b.bytes
 
-let memo_stats () = (!memo_hits_, !memo_misses_)
+let memo_stats () = with_memo_lock (fun () -> (!memo_hits_, !memo_misses_))
 
 let memo_reset () =
-  Hashtbl.reset memo;
-  memo_hits_ := 0;
-  memo_misses_ := 0
+  with_memo_lock (fun () ->
+      Hashtbl.reset memo;
+      memo_hits_ := 0;
+      memo_misses_ := 0)
 
 let hex_of_pattern p =
   String.concat " "
@@ -201,16 +213,24 @@ let audit_uncached ~rule img =
 
 let audit_rule ~rule img =
   let h = fnv1a64 ~rule img in
-  match Hashtbl.find_opt memo h with
-  | Some (cached, tag, vs) when tag = rule.r_tag && same_image cached img ->
-    incr memo_hits_;
-    vs
-  | _ ->
-    incr memo_misses_;
+  let hit =
+    with_memo_lock (fun () ->
+        match Hashtbl.find_opt memo h with
+        | Some (cached, tag, vs) when tag = rule.r_tag && same_image cached img ->
+          incr memo_hits_;
+          Some vs
+        | _ ->
+          incr memo_misses_;
+          None)
+  in
+  match hit with
+  | Some vs -> vs
+  | None ->
     let vs = audit_uncached ~rule img in
-    if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
-    Hashtbl.replace memo h
-      ({ img with bytes = Bytes.copy img.bytes }, rule.r_tag, vs);
+    with_memo_lock (fun () ->
+        if Hashtbl.length memo >= memo_capacity then Hashtbl.reset memo;
+        Hashtbl.replace memo h
+          ({ img with bytes = Bytes.copy img.bytes }, rule.r_tag, vs));
     vs
 
 let audit img = audit_rule ~rule:vmfunc_rule img

@@ -39,13 +39,17 @@ let of_string = function
 
 let pp fmt k = Format.pp_print_string fmt (name k)
 
-let default = ref Vmfunc
-let set_default k = default := k
+(* Atomic so parallel replicas spawned after the CLI sets the backend
+   read it without a data race; it is configuration, written once per
+   run before any domain is spawned. *)
+let default = Atomic.make Vmfunc
+let get_default () = Atomic.get default
+let set_default k = Atomic.set default k
 
 let with_default k f =
-  let saved = !default in
-  default := k;
-  Fun.protect ~finally:(fun () -> default := saved) f
+  let saved = Atomic.get default in
+  Atomic.set default k;
+  Fun.protect ~finally:(fun () -> Atomic.set default saved) f
 
 (* The per-leg cost of the architectural switch itself (the rest of a
    crossing — save/restore, stack install — is mechanism-independent and

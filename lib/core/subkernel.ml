@@ -215,7 +215,9 @@ let init ?backend ?(vpid = true) ?(huge_ept = true)
     ?(max_eptp = Vmcs.eptp_list_size) ?(max_bindings = max_int)
     ?(seed = 0x5b1d) kernel =
   if max_bindings < 1 then invalid_arg "Subkernel.init: max_bindings";
-  let backend = match backend with Some b -> b | None -> !Backend.default in
+  let backend =
+    match backend with Some b -> b | None -> Backend.get_default ()
+  in
   let root = Rootkernel.boot ~vpid ~huge_ept kernel in
   let trampoline_bytes = Trampoline.code_for backend in
   let trampoline_frame = Frame_alloc.alloc_frame (Kernel.alloc kernel) in

@@ -1,0 +1,8 @@
+(** `--jobs N` replica harness: N concurrent, scoped, byte-compared
+    replicas of one experiment. *)
+
+val replicate : jobs:int -> render:('a -> string) -> (unit -> 'a) -> 'a
+(** Run [f] on [jobs] domains, each in a fresh {!Sky_sim.Scopes} bundle;
+    render every replica's result with [render] and fail unless all
+    renderings are byte-identical. Returns replica 0's result.
+    [jobs <= 1] runs [f] directly on the calling domain. *)

@@ -52,6 +52,9 @@ let all =
     { id = "matrix";
       title = "Showdown: VMFUNC vs MPK vs filtered syscall, cost + recovery + audit";
       run = Exp_matrix.run };
+    { id = "parallel";
+      title = "Parallel: quantum-synchronized simulation on OCaml domains";
+      run = Exp_parallel.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

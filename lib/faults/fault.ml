@@ -19,14 +19,64 @@ type arm_state = {
   mutable a_rng : int64;  (** per-arm splitmix64 state *)
 }
 
-(* Global singleton, mirroring Sky_trace.Trace: a disabled engine costs
-   one ref read per hook and zero simulated cycles. *)
-let enabled = ref false
-let scope = ref 0
-let seed_ref = ref 0
-let clock : (int -> int) ref = ref (fun _ -> 0)
-let arms : (string, arm_state list ref) Hashtbl.t = Hashtbl.create 16
-let fired_log : (string * kind * int) list ref = ref []
+(* All engine state lives in one record. Single-machine runs use the
+   process-wide default engine and behave exactly like the old global
+   singleton; the parallel scheduler binds a fresh engine domain-locally
+   per shard ({!with_engine}), so concurrent shards arm, fire and log
+   independently and a shard's census is identical whether it ran
+   sequentially or on its own domain. *)
+type engine = {
+  mutable e_enabled : bool;
+  mutable e_scope : int;
+  mutable e_seed : int;
+  mutable e_clock : int -> int;
+  e_arms : (string, arm_state list ref) Hashtbl.t;
+  mutable e_fired : (string * kind * int) list;
+}
+
+let fresh_engine ?(seed = 0) () =
+  {
+    e_enabled = false;
+    e_scope = 0;
+    e_seed = seed;
+    e_clock = (fun _ -> 0);
+    e_arms = Hashtbl.create 16;
+    e_fired = [];
+  }
+
+let default_engine = fresh_engine ()
+
+(* Count of engines whose [e_enabled] is set, so the disabled hot path
+   ({!is_enabled} in {!Sky_sim.Cpu.charge}) stays one atomic load: when
+   zero, no engine anywhere can fire and hooks return immediately. *)
+let enabled_engines = Atomic.make 0
+
+(* Number of domains currently bound to a non-default engine (same fast
+   default / scoped override pattern as {!Sky_trace.Trace}). *)
+let scoped_engines = Atomic.make 0
+
+let engine_key : engine Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> default_engine)
+
+let engine () =
+  if Atomic.get scoped_engines = 0 then default_engine
+  else Domain.DLS.get engine_key
+
+let with_engine e f =
+  let prev = Domain.DLS.get engine_key in
+  Domain.DLS.set engine_key e;
+  Atomic.incr scoped_engines;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set engine_key prev;
+      Atomic.decr scoped_engines)
+    f
+
+let set_engine_enabled e b =
+  if e.e_enabled <> b then begin
+    e.e_enabled <- b;
+    if b then Atomic.incr enabled_engines else Atomic.decr enabled_engines
+  end
 
 (* Same mixer as Sky_sim.Rng (copied: sky_faults sits below sky_sim in
    the dependency order so the sim's hot loop can host fault sites). *)
@@ -43,19 +93,26 @@ let sm_float a =
   float_of_int bits /. float_of_int (1 lsl 53)
 
 let reset ?(seed = 1) () =
-  Hashtbl.reset arms;
-  fired_log := [];
-  scope := 0;
-  seed_ref := seed;
-  enabled := true
+  let e = engine () in
+  Hashtbl.reset e.e_arms;
+  e.e_fired <- [];
+  e.e_scope <- 0;
+  e.e_seed <- seed;
+  set_engine_enabled e true
 
-let disable () = enabled := false
-let is_enabled () = !enabled
-let set_clock f = clock := f
+let disable () = set_engine_enabled (engine ()) false
+
+let is_enabled () = Atomic.get enabled_engines > 0 && (engine ()).e_enabled
+
+let set_clock f = (engine ()).e_clock <- f
 
 (* Layers above (e.g. the simulator's host-side hot lines) register
    state to drop whenever a fault scope opens, so runs with the engine
-   armed take identical code paths regardless of prior warm-up. *)
+   armed take identical code paths regardless of prior warm-up. The
+   hook list is registered once at module-init time and is process-wide;
+   each callback acts on the *current* scoped state (e.g. the current
+   shard's hot-line table), so scope entry in one shard cannot disturb
+   another. *)
 let scope_enter_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let on_scope_enter f =
@@ -66,22 +123,28 @@ let on_scope_enter f =
       f ()
 
 let enter_scope () =
-  if !enabled then !scope_enter_hook ();
-  incr scope
-let leave_scope () = if !scope > 0 then decr scope
-let in_scope () = !scope > 0
+  let e = engine () in
+  if e.e_enabled then !scope_enter_hook ();
+  e.e_scope <- e.e_scope + 1
+
+let leave_scope () =
+  let e = engine () in
+  if e.e_scope > 0 then e.e_scope <- e.e_scope - 1
+
+let in_scope () = (engine ()).e_scope > 0
 
 let with_scope f =
   enter_scope ();
   Fun.protect ~finally:leave_scope f
 
 let arm ?(budget = 1) ~site ~kind trigger =
+  let e = engine () in
   let lst =
-    match Hashtbl.find_opt arms site with
+    match Hashtbl.find_opt e.e_arms site with
     | Some l -> l
     | None ->
       let l = ref [] in
-      Hashtbl.replace arms site l;
+      Hashtbl.replace e.e_arms site l;
       l
   in
   (* Seed the arm's private stream from (engine seed, site, ordinal) so
@@ -94,19 +157,20 @@ let arm ?(budget = 1) ~site ~kind trigger =
       a_budget = budget;
       a_hits = 0;
       a_rng =
-        Int64.of_int (!seed_ref lxor Hashtbl.hash (site, ordinal) lxor 0x5b1d);
+        Int64.of_int (e.e_seed lxor Hashtbl.hash (site, ordinal) lxor 0x5b1d);
     }
   in
   lst := !lst @ [ a ]
 
 let check ?(scoped = false) ~core site =
-  if not !enabled then None
-  else if scoped && !scope <= 0 then None
+  let e = engine () in
+  if not e.e_enabled then None
+  else if scoped && e.e_scope <= 0 then None
   else
-    match Hashtbl.find_opt arms site with
+    match Hashtbl.find_opt e.e_arms site with
     | None -> None
     | Some lst ->
-      let now = !clock core in
+      let now = e.e_clock core in
       let rec go = function
         | [] -> None
         | a :: rest ->
@@ -122,7 +186,7 @@ let check ?(scoped = false) ~core site =
             in
             if fires then begin
               a.a_budget <- a.a_budget - 1;
-              fired_log := (site, a.a_kind, now) :: !fired_log;
+              e.e_fired <- (site, a.a_kind, now) :: e.e_fired;
               Sky_trace.Trace.instant ~core ~cat:"fault" ("fault." ^ site);
               Some a.a_kind
             end
@@ -132,12 +196,12 @@ let check ?(scoped = false) ~core site =
       go !lst
 
 let inject ~core site =
-  if !enabled then
+  if is_enabled () then
     match check ~scoped:true ~core site with
     | Some kind -> raise (Injected { site; kind })
     | None -> ()
 
-let fired () = List.rev !fired_log
+let fired () = List.rev (engine ()).e_fired
 
 let fired_counts () =
   let tbl = Hashtbl.create 8 in
@@ -145,6 +209,6 @@ let fired_counts () =
     (fun (site, _, _) ->
       Hashtbl.replace tbl site
         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl site)))
-    !fired_log;
+    (engine ()).e_fired;
   Hashtbl.fold (fun site n acc -> (site, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

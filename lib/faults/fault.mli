@@ -8,9 +8,13 @@
     schedule is independent of arm interleaving and bit-reproducible
     run-to-run.
 
-    The engine is a global singleton, like {!Sky_trace.Trace}: when
-    disabled every hook is a single [ref] read, costs zero simulated
-    cycles, and perturbs nothing. *)
+    By default all operations act on a process-wide engine, like
+    {!Sky_trace.Trace}: when disabled every hook is a single atomic
+    read, costs zero simulated cycles, and perturbs nothing. The
+    parallel scheduler binds a {e fresh} engine domain-locally per
+    shard ({!fresh_engine} / {!with_engine}) so concurrent shards arm,
+    fire and log independently — a shard's fault schedule and census
+    are identical whether it ran sequentially or on its own domain. *)
 
 type kind =
   | Crash  (** the component dies mid-operation *)
@@ -28,8 +32,22 @@ type trigger =
 exception Injected of { site : string; kind : kind }
 (** Raised by hook sites when an armed fault fires. *)
 
+type engine
+(** One fault engine: its own enable bit, scope depth, seed, clock,
+    arms and fired log. *)
+
+val fresh_engine : ?seed:int -> unit -> engine
+(** A new, disabled engine with no arms (seed default 0). *)
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** Run a thunk with every [Fault] operation in this domain acting on
+    [engine] instead of the process-wide default (exception-safe,
+    restores the previous binding; the binding is domain-local, so
+    concurrent domains can each hold a different engine). *)
+
 val reset : ?seed:int -> unit -> unit
-(** Clear all arms and the fired log, reseed, and enable the engine. *)
+(** Clear all arms and the fired log, reseed, and enable the (current)
+    engine. *)
 
 val disable : unit -> unit
 (** Turn the engine off (arms and fired log are kept for readout). *)

@@ -7,18 +7,31 @@ let path_of name = Printf.sprintf "BENCH_%s.json" name
 
 (* [host_seconds] records the host wall-clock cost of producing the
    result next to the simulated numbers, so benchmark trajectories track
-   both the modelled machine and the simulator itself. It wraps rather
-   than edits [contents]: the simulated result stays byte-deterministic
-   under "result" while the timing lives alongside it. *)
-let write ~name ?host_seconds contents =
+   both the modelled machine and the simulator itself. [host_json]
+   carries further host-side measurements (parallel speedup, domain
+   counts) as a ready-made JSON value. Both wrap rather than edit
+   [contents]: the simulated result stays byte-deterministic under
+   "result" while host-dependent numbers live alongside it. *)
+let write ~name ?host_seconds ?host_json contents =
   let path = path_of name in
   let contents =
-    match host_seconds with
-    | None -> contents
-    | Some s ->
+    match (host_seconds, host_json) with
+    | None, None -> contents
+    | _ ->
       let trimmed = String.trim contents in
-      Printf.sprintf "{\"host_seconds\":%.3f,\"result\":%s}" s
-        (if trimmed = "" then "null" else trimmed)
+      let fields =
+        (match host_seconds with
+        | Some s -> [ Printf.sprintf "\"host_seconds\":%.3f" s ]
+        | None -> [])
+        @ (match host_json with
+          | Some j -> [ Printf.sprintf "\"host\":%s" j ]
+          | None -> [])
+        @ [
+            Printf.sprintf "\"result\":%s"
+              (if trimmed = "" then "null" else trimmed);
+          ]
+      in
+      Printf.sprintf "{%s}" (String.concat "," fields)
   in
   let oc = open_out path in
   output_string oc contents;

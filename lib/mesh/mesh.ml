@@ -70,7 +70,10 @@ type t = {
 
 (* ---- name-service wire protocol ---- *)
 
-let ok_reply = Bytes.make 1 '\000'
+(* Fresh per reply: handlers hand the bytes to transport code that may
+   outlive the call, so a shared mutable constant would be a (latent)
+   cross-call, cross-domain alias. *)
+let ok_reply () = Bytes.make 1 '\000'
 
 let enc_resolve scheme =
   let b = Bytes.create (1 + String.length scheme) in
@@ -113,12 +116,12 @@ let ns_handler t : Sky_kernels.Ipc.handler =
     t.registrations <- t.registrations + 1;
     invalidate t;
     Sky_trace.Trace.instant ~core ~cat:"mesh" "mesh.register";
-    ok_reply
+    ok_reply ()
   | 'U' ->
     let scheme = Bytes.sub_string msg 1 (Bytes.length msg - 1) in
     Hashtbl.remove t.table scheme;
     invalidate t;
-    ok_reply
+    ok_reply ()
   | c -> invalid_arg (Printf.sprintf "nameserv: opcode %d" (Char.code c))
 
 (* ---- capability plumbing ---- *)

@@ -489,26 +489,24 @@ let finished t =
          && w.w_inflight = [])
        t.workers
 
-(* Earliest packet timestamp still sitting in any RX ring. A blocked
-   worker reports it as its next-event time: with cross-core serving, a
-   fast peer's replies can strand a ring owner's clock far above the
-   laggard pack, and plain [Idle] only leapfrogs idle cores one cycle
-   at a time — the run loop's idle guard trips long before the pack
-   creeps up to the owner. *)
+(* Earliest packet timestamp still sitting in any RX ring, and the ring
+   it sits in (= the core that owns it: only the owner can drain it). A
+   blocked worker uses it as its next-event time: with cross-core
+   serving, a fast peer's replies can strand a ring owner's clock far
+   above the laggard pack, and plain [Idle] only leapfrogs idle cores
+   one cycle at a time — the run loop's idle guard trips long before the
+   pack creeps up to the owner. *)
 let next_wire_event t =
   let best = ref None in
   for q = 0 to Nic.n_queues t.nic - 1 do
     match Nic.next_deliver_at t.nic ~queue:q with
     | Some at -> (
-      match !best with Some b when b <= at -> () | _ -> best := Some at)
+      match !best with
+      | Some (_, b) when b <= at -> ()
+      | _ -> best := Some (q, at))
     | None -> ()
   done;
   !best
-
-(* Hop a blocked worker takes past a wire event that is already due on
-   some other core's clock: striding forward lets the laggard pack
-   overtake the stranded ring owner so the scheduler steps it again. *)
-let idle_stride_cycles = 512
 
 (* Serve a batch of popped (or replayed) requests: expired members are
    shed up front, a crash parks whatever was not yet replied. *)
@@ -580,19 +578,29 @@ let step t ~core =
         end
         else if finished t then Machine.Done
         else (
-          match
-            (* Ring events first; otherwise the generator's hint (an
-               open-loop pump's next arrival), so a fully drained fleet
-               sleeps to the next offered request instead of leapfrogging
-               one cycle at a time into the interleave deadlock guard. *)
-            match next_wire_event t with
-            | Some at -> Some at
-            | None -> t.wire_hint ()
-          with
-          | Some at ->
+          (* Ring events first; otherwise the generator's hint (an
+             open-loop pump's next arrival), so a fully drained fleet
+             sleeps to the next offered request instead of leapfrogging
+             one cycle at a time into the interleave deadlock guard. *)
+          match next_wire_event t with
+          | Some (q, at) ->
             let now = Cpu.cycles cpu in
-            Machine.Idle_until (if at > now then at else now + idle_stride_cycles)
-          | None -> Machine.Idle)
+            if at > now then Machine.Idle_until at
+            else
+              (* A packet already due on our clock sits in another
+                 core's ring (a due head in our own ring wakes us via
+                 the level check above). Only its owner can drain it; if
+                 the owner's clock is ahead of us, park just past it in
+                 one hop — the owner gets stepped the moment the rest of
+                 the pack passes it, instead of everyone creeping up one
+                 leapfrog at a time into the idle guard. *)
+              let owner = Cpu.cycles (Kernel.cpu t.kernel ~core:q) in
+              if owner >= now then Machine.Idle_until (owner + 1)
+              else Machine.Idle
+          | None -> (
+            match t.wire_hint () with
+            | Some at when at > Cpu.cycles cpu -> Machine.Idle_until at
+            | Some _ | None -> Machine.Idle))
       end
       else begin
         (* Route first, serve second: RSS only places packets in rings;
@@ -644,7 +652,22 @@ let step t ~core =
               Machine.Progress)
       end)
 
-let run t =
+(* Resumable form of [run], for the quantum scheduler: the run-loop
+   state persists across [advance] calls so the server can be driven one
+   bounded slice of virtual time at a time. *)
+type session = Machine.run
+
+let start t =
   let cores = Array.to_list (Array.init (Array.length t.workers) (fun i -> i)) in
-  Machine.interleave t.kernel.Kernel.machine ~cores ~step:(fun ~core ->
-      step t ~core)
+  Machine.start_run t.kernel.Kernel.machine ~cores
+
+let advance t s ~until =
+  Machine.run_until t.kernel.Kernel.machine s
+    ~step:(fun ~core -> step t ~core)
+    ~until
+
+let run t =
+  let s = start t in
+  match advance t s ~until:max_int with
+  | `Done -> ()
+  | `Paused -> assert false (* no core's clock can reach max_int *)

@@ -114,6 +114,18 @@ val run : t -> unit
 (** Interleave all workers by virtual time until every queue is done and
     the endpoint is drained. *)
 
+type session
+(** Persistent run-loop state for driving the server a bounded slice of
+    virtual time at a time (the quantum scheduler's lane hook). *)
+
+val start : t -> session
+
+val advance : t -> session -> until:int -> [ `Paused | `Done ]
+(** Interleave workers until every live core's clock reaches [until]
+    ([`Paused]) or the whole workload completes ([`Done]). Chunking via
+    [advance] replays exactly the same step sequence as one [run] — see
+    {!Sky_sim.Machine.run_until}. *)
+
 val served : t -> int
 val bad_requests : t -> int
 val restarts : t -> int

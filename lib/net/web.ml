@@ -430,17 +430,34 @@ let build ?(variant = Config.Sel4) ?(seed = 42) ?(cores = 8)
     elapsed = 0;
   }
 
-let run t =
+(* Resumable run, for the quantum scheduler: [start_run] arms the load
+   generator, [advance] drives a bounded slice of virtual time, and the
+   elapsed figure is computed when the workload drains. *)
+type session = { s_start : int; s_httpd : Httpd.session }
+
+let start_run t =
   Machine.sync_cores t.machine;
   let start = Cpu.cycles (Machine.core t.machine 0) in
   Loadgen.start t.lg ~at:(start + 500);
-  Httpd.run t.httpd;
-  let elapsed = ref 1 in
-  for core = 0 to t.workers - 1 do
-    let c = Cpu.cycles (Machine.core t.machine core) - start in
-    if c > !elapsed then elapsed := c
-  done;
-  t.elapsed <- !elapsed
+  { s_start = start; s_httpd = Httpd.start t.httpd }
+
+let advance t s ~until =
+  match Httpd.advance t.httpd s.s_httpd ~until with
+  | `Paused -> `Paused
+  | `Done ->
+    let elapsed = ref 1 in
+    for core = 0 to t.workers - 1 do
+      let c = Cpu.cycles (Machine.core t.machine core) - s.s_start in
+      if c > !elapsed then elapsed := c
+    done;
+    t.elapsed <- !elapsed;
+    `Done
+
+let run t =
+  let s = start_run t in
+  match advance t s ~until:max_int with
+  | `Done -> ()
+  | `Paused -> assert false (* clocks cannot reach max_int *)
 
 let throughput t =
   Costs.ops_per_sec ~ops:(Loadgen.responses t.lg) ~cycles:(max 1 t.elapsed)

@@ -74,6 +74,18 @@ val run : t -> unit
 (** Drive the whole stack by virtual time until every connection has
     been answered. *)
 
+type session
+(** Resumable form of {!run}, for the quantum scheduler. *)
+
+val start_run : t -> session
+(** Arm the load generator and capture the start clock. *)
+
+val advance : t -> session -> until:int -> [ `Paused | `Done ]
+(** Drive the stack until every live core's clock reaches [until]
+    ([`Paused]) or the workload drains ([`Done], at which point
+    {!elapsed} and {!throughput} are valid). Chunked advances replay
+    exactly the step sequence of one {!run}. *)
+
 val throughput : t -> float
 (** Requests per simulated second, over the busiest worker core's
     elapsed cycles. *)

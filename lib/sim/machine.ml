@@ -49,7 +49,18 @@ type step = Progress | Idle | Idle_until of int | Done
 
 exception Stuck of string
 
-let interleave t ~cores ~step =
+(* Persistent state of one interleaved run, so the loop can be driven a
+   quantum at a time ({!run_until}) by the parallel scheduler: which
+   cores are still live and the idle-streak deadlock counter, which must
+   survive quantum boundaries or a lost-wakeup spanning boundaries would
+   never trip the guard. *)
+type run = {
+  r_cores : int array;
+  r_finished : bool array;
+  mutable r_idle_streak : int;
+}
+
+let start_run t ~cores =
   let cores = Array.of_list cores in
   if Array.length cores = 0 then invalid_arg "Machine.interleave: no cores";
   Array.iter
@@ -57,66 +68,92 @@ let interleave t ~cores ~step =
       if c < 0 || c >= Array.length t.cores then
         invalid_arg "Machine.interleave: core out of range")
     cores;
+  {
+    r_cores = cores;
+    r_finished = Array.make (Array.length cores) false;
+    r_idle_streak = 0;
+  }
+
+(* Advance the run until every live core's clock has reached [until] (or
+   its workload finished). The boundary only *parks* cores — a stepped
+   core may overshoot [until] and is simply not stepped again this
+   quantum — so for any boundary placement the scheduling decisions and
+   per-core trajectories are bit-identical to an unbounded run: the
+   lowest-cycle-first rule never runs a core at/past the boundary while
+   another sits below it, which is exactly what parking enforces. *)
+let run_until t r ~step ~until =
+  let cores = r.r_cores in
   let n = Array.length cores in
-  let finished = Array.make n false in
   let live () =
     let acc = ref [] in
     for i = n - 1 downto 0 do
-      if not finished.(i) then acc := i :: !acc
+      if not r.r_finished.(i) then acc := i :: !acc
     done;
     !acc
   in
-  (* Consecutive steps with neither progress nor clock movement: the
-     deadlock guard. Closed systems always have a next event, so hitting
-     the bound means a step function lied about being Idle. *)
-  let idle_streak = ref 0 in
+  (* Consecutive steps with neither progress nor fresh wakeup targets:
+     the deadlock guard. Closed systems always have a next event, so
+     hitting the bound means a step function lied about being Idle. *)
   let max_idle_streak = 64 * n in
   let rec loop () =
     match live () with
-    | [] -> ()
-    | l ->
-      (* Run the core furthest behind in virtual time — the interleaving
-         rule that makes a single-threaded simulation behave like n
-         concurrent cores. *)
-      let i =
-        List.fold_left
-          (fun best j ->
-            if Cpu.cycles t.cores.(cores.(j)) < Cpu.cycles t.cores.(cores.(best))
-            then j
-            else best)
-          (List.hd l) (List.tl l)
-      in
-      let c = cores.(i) in
-      let cpu = t.cores.(c) in
-      let before = Cpu.cycles cpu in
-      (match step ~core:c with
-      | Progress -> idle_streak := 0
-      | Done ->
-        finished.(i) <- true;
-        idle_streak := 0
-      | Idle_until ts when ts > before ->
-        Cpu.advance_to cpu ts;
-        idle_streak := 0
-      | Idle | Idle_until _ ->
-        (* Nothing to do at this virtual time: hop past the next-lowest
-           live core so whoever can unblock us runs first. *)
-        let next =
+    | [] -> `Done
+    | l -> (
+      match List.filter (fun j -> Cpu.cycles t.cores.(cores.(j)) < until) l with
+      | [] -> `Paused
+      | rl ->
+        (* Run the core furthest behind in virtual time — the
+           interleaving rule that makes a single-threaded simulation
+           behave like n concurrent cores. *)
+        let i =
           List.fold_left
-            (fun acc j ->
-              if j = i then acc
-              else min acc (Cpu.cycles t.cores.(cores.(j))))
-            max_int l
+            (fun best j ->
+              if
+                Cpu.cycles t.cores.(cores.(j))
+                < Cpu.cycles t.cores.(cores.(best))
+              then j
+              else best)
+            (List.hd rl) (List.tl rl)
         in
-        if next < max_int then Cpu.advance_to cpu (next + 1)
-        else Cpu.charge cpu 64 (* lone core: poll tick *);
-        incr idle_streak;
-        if !idle_streak > max_idle_streak then
-          raise
-            (Stuck
-               (Printf.sprintf
-                  "Machine.interleave: %d idle steps with no progress \
-                   (cores stuck at cycle %d)"
-                  !idle_streak (Cpu.cycles cpu))));
-      loop ()
+        let c = cores.(i) in
+        let cpu = t.cores.(c) in
+        let before = Cpu.cycles cpu in
+        (match step ~core:c with
+        | Progress -> r.r_idle_streak <- 0
+        | Done ->
+          r.r_finished.(i) <- true;
+          r.r_idle_streak <- 0
+        | Idle_until ts when ts > before ->
+          Cpu.advance_to cpu ts;
+          r.r_idle_streak <- 0
+        | Idle | Idle_until _ ->
+          (* Nothing to do at this virtual time: hop past the
+             next-lowest live core (parked ones included — they are
+             still events in this machine's future) so whoever can
+             unblock us runs first. *)
+          let next =
+            List.fold_left
+              (fun acc j ->
+                if j = i then acc
+                else min acc (Cpu.cycles t.cores.(cores.(j))))
+              max_int l
+          in
+          if next < max_int then Cpu.advance_to cpu (next + 1)
+          else Cpu.charge cpu 64 (* lone core: poll tick *);
+          r.r_idle_streak <- r.r_idle_streak + 1;
+          if r.r_idle_streak > max_idle_streak then
+            raise
+              (Stuck
+                 (Printf.sprintf
+                    "Machine.interleave: %d idle steps with no progress \
+                     (cores stuck at cycle %d)"
+                    r.r_idle_streak (Cpu.cycles cpu))));
+        loop ())
   in
   loop ()
+
+let interleave t ~cores ~step =
+  let r = start_run t ~cores in
+  match run_until t r ~step ~until:max_int with
+  | `Done -> ()
+  | `Paused -> assert false (* no core's clock can reach max_int *)

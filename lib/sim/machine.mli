@@ -48,3 +48,21 @@ val interleave : t -> cores:int list -> step:(core:int -> step) -> unit
     interactions (IPIs, shared locks, cache contention) happen in
     virtual-time order because the laggard always runs first.
     @raise Stuck when no live core can make progress. *)
+
+type run
+(** Persistent state of a resumable interleaved run: which cores are
+    still live, plus the deadlock-guard counter (which must survive
+    quantum boundaries). *)
+
+val start_run : t -> cores:int list -> run
+
+val run_until :
+  t -> run -> step:(core:int -> step) -> until:int -> [ `Paused | `Done ]
+(** Advance the run until every live core's clock reaches [until]
+    ([`Paused]) or every core reports [Done] ([`Done]). Cores at or past
+    [until] are parked, not clamped: a step may overshoot the boundary
+    and simply isn't stepped again this quantum, so for any boundary
+    placement the step sequence is bit-identical to an unbounded
+    {!interleave}. This is the hook the quantum-synchronized parallel
+    scheduler drives one simulated-cycle quantum at a time.
+    @raise Stuck when no live core can make progress. *)

@@ -57,14 +57,43 @@ module Hotline = struct
   let max_cores = 64
   let lines_per_side = 16
 
-  let table =
+  type table = line array
+
+  let fresh_table () : table =
     Array.init (max_cores * 2 * lines_per_side) (fun _ ->
         { h_tlb = None; h_slot = None; h_asid = 0; h_vpn = 0 })
+
+  (* The memo table is scoped like {!Accel}'s epoch: single-machine runs
+     share the process-wide default, parallel shards each bind their own
+     ({!with_table}, domain-local) so a fault-scope entry or warm-up in
+     one shard never drops another shard's lines — hot-line hits are a
+     PMU-visible event, so cross-shard clears would make counters depend
+     on shard interleaving. *)
+  let default_table = fresh_table ()
+
+  let scoped = Atomic.make 0
+
+  let table_key : table Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> default_table)
+
+  let current_table () =
+    if Atomic.get scoped = 0 then default_table else Domain.DLS.get table_key
+
+  let with_table tb f =
+    let prev = Domain.DLS.get table_key in
+    Domain.DLS.set table_key tb;
+    Atomic.incr scoped;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set table_key prev;
+        Atomic.decr scoped)
+      f
 
   let line_for ~core ~insn ~vpn =
     let side = if insn then 1 else 0 in
     let core = core land (max_cores - 1) in
-    table.(((core * 2) + side) * lines_per_side + (vpn land (lines_per_side - 1)))
+    (current_table ()).(((core * 2) + side) * lines_per_side
+                        + (vpn land (lines_per_side - 1)))
 
   let probe line ~tlb ~asid ~vpn =
     match line.h_slot with
@@ -85,7 +114,7 @@ module Hotline = struct
       (fun l ->
         l.h_tlb <- None;
         l.h_slot <- None)
-      table
+      (current_table ())
 
   (* Chaos determinism: entering a fault-injection scope drops every
      hot line, so the translation layer takes the same code path with

@@ -36,8 +36,19 @@ val touch_range : Cpu.t -> kind -> pa:int -> len:int -> unit
 module Hotline : sig
   type line
 
+  type table
+  (** One hot-line memo table. Single-machine runs share the
+      process-wide default; the parallel scheduler binds a fresh table
+      per shard ({!with_table}, domain-local) so one shard's fault-scope
+      clears can never drop another shard's lines. *)
+
+  val fresh_table : unit -> table
+  val with_table : table -> (unit -> 'a) -> 'a
+
   val line_for : core:int -> insn:bool -> vpn:int -> line
   val probe : line -> tlb:Tlb.t -> asid:int -> vpn:int -> Tlb.entry option
   val record : line -> tlb:Tlb.t -> slot:Tlb.slot -> asid:int -> vpn:int -> unit
+
   val clear_all : unit -> unit
+  (** Drop every line of the current table. *)
 end

@@ -12,7 +12,15 @@
     - per-category cycle attribution ({!on_charge} hooks {!Sky_sim.Cpu.charge}
       and bills the innermost open span's category),
     - a latency {!Histogram} per span name,
-    - folded call-stack self-cycles for flamegraphs. *)
+    - folded call-stack self-cycles for flamegraphs.
+
+    {b Contexts.} All tracer state (rings, stacks, aggregates, the
+    clock) lives in a {!ctx}. Single-machine runs use the process-wide
+    default context and never notice; the parallel scheduler gives each
+    shard its own context via {!with_ctx}, bound domain-locally, so
+    concurrent shards record into disjoint state and a shard's readout
+    is identical whether it ran sequentially or on its own domain. The
+    no-context fast path is one atomic load. *)
 
 type ev = {
   name : string;
@@ -45,48 +53,89 @@ type frame = {
 let max_cores = 128
 let default_capacity = 1 lsl 16
 
-let enabled = ref false
-let capacity = ref default_capacity
-let clock : (int -> int) ref = ref (fun _ -> 0)
-let rings : ring option array = Array.make max_cores None
-let stacks : frame list array = Array.make max_cores []
-let cat_cycles : (string, int ref) Hashtbl.t = Hashtbl.create 16
-let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
-let folded_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+type ctx = {
+  mutable c_capacity : int;
+  mutable c_clock : int -> int;
+  c_rings : ring option array;
+  c_stacks : frame list array;
+  c_cat_cycles : (string, int ref) Hashtbl.t;
+  c_hists : (string, Histogram.t) Hashtbl.t;
+  c_folded : (string, int ref) Hashtbl.t;
+}
 
-let is_enabled () = !enabled
-let set_clock f = clock := f
-let now ~core = !clock core
+let fresh_ctx () =
+  {
+    c_capacity = default_capacity;
+    c_clock = (fun _ -> 0);
+    c_rings = Array.make max_cores None;
+    c_stacks = Array.make max_cores [];
+    c_cat_cycles = Hashtbl.create 16;
+    c_hists = Hashtbl.create 16;
+    c_folded = Hashtbl.create 64;
+  }
+
+let default_ctx = fresh_ctx ()
+
+(* Number of domains currently bound to a non-default context. Zero on
+   every hot path outside parallel runs, so [ctx ()] costs one atomic
+   load and a branch. *)
+let scoped_ctxs = Atomic.make 0
+
+let ctx_key : ctx Domain.DLS.key = Domain.DLS.new_key (fun () -> default_ctx)
+
+let ctx () =
+  if Atomic.get scoped_ctxs = 0 then default_ctx else Domain.DLS.get ctx_key
+
+let with_ctx c f =
+  let prev = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key c;
+  Atomic.incr scoped_ctxs;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set ctx_key prev;
+      Atomic.decr scoped_ctxs)
+    f
+
+(* The on/off switch stays process-wide: enabling tracing is a run-mode
+   decision, not per-shard state, and an atomic read keeps the disabled
+   hot path one load. *)
+let enabled = Atomic.make false
+
+let is_enabled () = Atomic.get enabled
+let set_clock f = (ctx ()).c_clock <- f
+let now ~core = (ctx ()).c_clock core
 
 let clear () =
-  Array.fill rings 0 max_cores None;
-  Array.fill stacks 0 max_cores [];
-  Hashtbl.reset cat_cycles;
-  Hashtbl.reset hists;
-  Hashtbl.reset folded_tbl
+  let c = ctx () in
+  Array.fill c.c_rings 0 max_cores None;
+  Array.fill c.c_stacks 0 max_cores [];
+  Hashtbl.reset c.c_cat_cycles;
+  Hashtbl.reset c.c_hists;
+  Hashtbl.reset c.c_folded
 
 let enable ?ring_capacity () =
   clear ();
+  let c = ctx () in
   (match ring_capacity with
-  | Some c when c > 0 -> capacity := c
+  | Some cap when cap > 0 -> c.c_capacity <- cap
   | Some _ -> invalid_arg "Trace.enable: ring_capacity <= 0"
-  | None -> capacity := default_capacity);
-  enabled := true
+  | None -> c.c_capacity <- default_capacity);
+  Atomic.set enabled true
 
-let disable () = enabled := false
+let disable () = Atomic.set enabled false
 
-let ring_for core =
-  match rings.(core) with
+let ring_for c core =
+  match c.c_rings.(core) with
   | Some r -> r
   | None ->
     let r = { buf = [||]; filled = 0; next = 0; dropped = 0 } in
-    rings.(core) <- Some r;
+    c.c_rings.(core) <- Some r;
     r
 
-let push_ev core e =
+let push_ev c core e =
   if core >= 0 && core < max_cores then begin
-    let r = ring_for core in
-    if Array.length r.buf = 0 then r.buf <- Array.make !capacity e;
+    let r = ring_for c core in
+    if Array.length r.buf = 0 then r.buf <- Array.make c.c_capacity e;
     if r.filled >= Array.length r.buf then r.dropped <- r.dropped + 1
     else r.filled <- r.filled + 1;
     r.buf.(r.next) <- e;
@@ -98,12 +147,12 @@ let bump tbl key n =
   | Some r -> r := !r + n
   | None -> Hashtbl.replace tbl key (ref n)
 
-let hist_for name =
-  match Hashtbl.find_opt hists name with
+let hist_for c name =
+  match Hashtbl.find_opt c.c_hists name with
   | Some h -> h
   | None ->
     let h = Histogram.create () in
-    Hashtbl.replace hists name h;
+    Hashtbl.replace c.c_hists name h;
     h
 
 (* ------------------------------------------------------------------ *)
@@ -111,32 +160,35 @@ let hist_for name =
 (* ------------------------------------------------------------------ *)
 
 let instant ~core ?(cat = "") name =
-  if !enabled && core >= 0 && core < max_cores then
-    push_ev core { name; cat; core; ts = now ~core; dur = -1 }
+  if is_enabled () && core >= 0 && core < max_cores then
+    let c = ctx () in
+    push_ev c core { name; cat; core; ts = c.c_clock core; dur = -1 }
 
 (* A span recorded from explicit timestamps — for call sites whose begin
    and end are separated by early-exit paths (e.g. Subkernel calls). *)
 let emit_span ~core ~cat name ~ts ~dur =
-  if !enabled && core >= 0 && core < max_cores then begin
-    push_ev core { name; cat; core; ts; dur };
-    Histogram.add (hist_for name) dur;
-    bump folded_tbl name dur
+  if is_enabled () && core >= 0 && core < max_cores then begin
+    let c = ctx () in
+    push_ev c core { name; cat; core; ts; dur };
+    Histogram.add (hist_for c name) dur;
+    bump c.c_folded name dur
   end
 
 let span ~core ~cat name f =
-  if (not !enabled) || core < 0 || core >= max_cores then f ()
+  if (not (is_enabled ())) || core < 0 || core >= max_cores then f ()
   else begin
-    let ts0 = now ~core in
+    let c = ctx () in
+    let ts0 = c.c_clock core in
     let path =
-      match stacks.(core) with
+      match c.c_stacks.(core) with
       | parent :: _ -> parent.f_path ^ ";" ^ name
       | [] -> name
     in
     let fr = { f_name = name; f_cat = cat; f_path = path; f_ts = ts0; f_child = 0 } in
-    stacks.(core) <- fr :: stacks.(core);
+    c.c_stacks.(core) <- fr :: c.c_stacks.(core);
     let finish () =
-      (match stacks.(core) with
-      | top :: rest when top == fr -> stacks.(core) <- rest
+      (match c.c_stacks.(core) with
+      | top :: rest when top == fr -> c.c_stacks.(core) <- rest
       | _ ->
         (* Unbalanced pop (an inner span escaped via an exception we did
            not see): drop frames down to ours. *)
@@ -144,14 +196,14 @@ let span ~core ~cat name f =
           | top :: rest -> if top == fr then rest else unwind rest
           | [] -> []
         in
-        stacks.(core) <- unwind stacks.(core));
-      let dur = now ~core - fr.f_ts in
-      (match stacks.(core) with
+        c.c_stacks.(core) <- unwind c.c_stacks.(core));
+      let dur = c.c_clock core - fr.f_ts in
+      (match c.c_stacks.(core) with
       | parent :: _ -> parent.f_child <- parent.f_child + dur
       | [] -> ());
-      bump folded_tbl fr.f_path (max 0 (dur - fr.f_child));
-      Histogram.add (hist_for fr.f_name) dur;
-      push_ev core { name = fr.f_name; cat = fr.f_cat; core; ts = fr.f_ts; dur }
+      bump c.c_folded fr.f_path (max 0 (dur - fr.f_child));
+      Histogram.add (hist_for c fr.f_name) dur;
+      push_ev c core { name = fr.f_name; cat = fr.f_cat; core; ts = fr.f_ts; dur }
     in
     match f () with
     | r ->
@@ -164,25 +216,28 @@ let span ~core ~cat name f =
 
 (* Called by {!Sky_sim.Cpu.charge}: bill [c] cycles to the category of
    the innermost open span on [core]. *)
-let on_charge ~core c =
-  if !enabled && core >= 0 && core < max_cores then
+let on_charge ~core n =
+  if is_enabled () && core >= 0 && core < max_cores then
+    let c = ctx () in
     let cat =
-      match stacks.(core) with fr :: _ -> fr.f_cat | [] -> "untracked"
+      match c.c_stacks.(core) with fr :: _ -> fr.f_cat | [] -> "untracked"
     in
-    bump cat_cycles cat c
+    bump c.c_cat_cycles cat n
 
 (* Feed a named histogram directly (per-workload-op latencies that are
    not spans). *)
-let record_latency name v = if !enabled then Histogram.add (hist_for name) v
+let record_latency name v =
+  if is_enabled () then Histogram.add (hist_for (ctx ()) name) v
 
 (* ------------------------------------------------------------------ *)
 (* Readout                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let events () =
+  let c = ctx () in
   let acc = ref [] in
   for core = max_cores - 1 downto 0 do
-    match rings.(core) with
+    match c.c_rings.(core) with
     | None -> ()
     | Some r ->
       let len = Array.length r.buf in
@@ -197,18 +252,18 @@ let events () =
 let dropped () =
   Array.fold_left
     (fun acc -> function Some r -> acc + r.dropped | None -> acc)
-    0 rings
+    0 (ctx ()).c_rings
 
 let categories () =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) cat_cycles []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (ctx ()).c_cat_cycles []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
 
 let histograms () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hists []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (ctx ()).c_hists []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let histogram name = Hashtbl.find_opt hists name
+let histogram name = Hashtbl.find_opt (ctx ()).c_hists name
 
 let folded () =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) folded_tbl []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) (ctx ()).c_folded []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

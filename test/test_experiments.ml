@@ -269,7 +269,7 @@ let test_registry_complete () =
     [ "table1"; "table2"; "fig2"; "fig7"; "fig8"; "table4"; "fig9"; "fig10";
       "fig11"; "table5"; "table6"; "gadgets"; "ablation"; "monolithic";
       "tempmap"; "scheduling"; "chaos"; "web"; "mesh"; "ycsbmix"; "pingpong";
-      "overload"; "matrix" ]
+      "overload"; "matrix"; "parallel" ]
   in
   List.iter
     (fun id ->

@@ -1,34 +1,69 @@
 #!/bin/sh
-# Advisory lint: inventory toplevel mutable host state in lib/.
+# Enforcing lint: inventory toplevel mutable host state in lib/.
 #
 # Isoflow audits guest-visible state (page tables, EPTs, VMCS EPTP
 # lists) but cannot see host-side OCaml globals.  Every toplevel
-# `ref`/`Hashtbl.create`/`Array.make`/`Buffer.create` in lib/ is
-# simulator state that survives across scenario builds and can leak
-# between audit runs, so we keep a visible census of them in CI.
+# `ref`/`Hashtbl.create`/`Atomic.make`/... in lib/ is simulator state
+# that survives across scenario builds and — now that the quantum
+# scheduler runs shards on OCaml domains and `--jobs` runs whole
+# replicas concurrently — can leak between runs racing on different
+# domains.  The Accel kill-switch bug (a process-global Atomic flipped
+# mid-run by one replica, perturbing the others) is exactly the class
+# this catches.
 #
-# This step is ADVISORY: it always exits 0.  It exists so a new global
-# shows up in the CI log (and in review) rather than silently.
+# Every finding must appear in tools/lint_globals.allow with a reviewed
+# domain-safety classification; an unlisted finding fails the build.
+# The fix for a real finding is the scoped-world pattern: move the
+# state into Sky_sim.Scopes (or the fast-default + Domain.DLS override
+# pattern it is built from), not the allowlist.
 set -u
 cd "$(dirname "$0")/.."
 
-# A toplevel binding is flush-left `let` (not indented, not `let%`...);
-# we flag ones whose right-hand side constructs mutable state on the
-# same line.  Heuristic by design -- false negatives are acceptable,
-# the goal is a cheap visible inventory, not a proof.
-pattern='^let [a-zA-Z_0-9]* *(: *[^=]*)?= *(ref |ref$|Hashtbl\.create|Array\.make|Array\.create|Bytes\.make|Bytes\.create|Buffer\.create|Queue\.create|Stack\.create)'
+allow=tools/lint_globals.allow
 
-echo "== toplevel mutable host state in lib/ (advisory) =="
-found=0
+# A toplevel binding is flush-left `let`; we flag ones whose right-hand
+# side constructs mutable state on the same line.  Heuristic by design
+# -- false negatives are acceptable, the goal is a cheap reviewable
+# census, not a proof.
+pattern='^let [a-zA-Z_0-9]* *(: *[^=]*)?= *(ref |ref$|Hashtbl\.create|Array\.make|Array\.create|Bytes\.make|Bytes\.create|Buffer\.create|Queue\.create|Stack\.create|Atomic\.make|Mutex\.create)'
+
+echo "== toplevel mutable host state in lib/ (enforcing) =="
+total=0
+bad=0
 for f in $(find lib -name '*.ml' | sort); do
   hits=$(grep -nE "$pattern" "$f" || true)
-  if [ -n "$hits" ]; then
-    echo "$hits" | while IFS= read -r line; do
-      echo "$f:$line"
-    done
-    found=$((found + $(echo "$hits" | wc -l)))
-  fi
+  [ -n "$hits" ] || continue
+  while IFS= read -r line; do
+    total=$((total + 1))
+    sym=$(printf '%s\n' "$line" | sed -E 's/^[0-9]+:let ([a-zA-Z_0-9]*).*/\1/')
+    if grep -q "^$f:$sym\$" "$allow"; then
+      echo "  ok    $f:$line"
+    else
+      echo "  FAIL  $f:$line"
+      echo "        not in $allow -- move it into a scoped bundle"
+      echo "        (Sky_sim.Scopes / Domain.DLS override) or review and allowlist it"
+      bad=$((bad + 1))
+    fi
+  done <<EOF
+$hits
+EOF
 done
-echo "== $found toplevel mutable binding(s) found =="
-echo "(advisory only; audit passes cover guest-visible state, this inventories host state)"
+
+# Stale allowlist entries rot the census: flag entries whose binding no
+# longer exists so the list shrinks as globals are burned down.
+while IFS= read -r entry; do
+  case "$entry" in ''|'#'*) continue ;; esac
+  ef=${entry%%:*}
+  es=${entry##*:}
+  if [ ! -f "$ef" ] || ! grep -qE "^let $es( |:|$)" "$ef"; then
+    echo "  STALE $entry (allowlisted but no such toplevel binding)"
+    bad=$((bad + 1))
+  fi
+done < "$allow"
+
+echo "== $total toplevel mutable binding(s), $bad unreviewed/stale =="
+if [ "$bad" -gt 0 ]; then
+  exit 1
+fi
+echo "(all findings reviewed; audit passes cover guest-visible state, this inventories host state)"
 exit 0
